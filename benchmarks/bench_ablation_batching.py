@@ -1,0 +1,67 @@
+"""Ablation (Section 3.6): proxy-side request batching.
+
+"Users can configure Manu to batch search requests to improve
+efficiency."  This benchmark drives the same search stream through a
+proxy with batching windows of 0 (disabled) and several sizes, and
+compares end-to-end completion time and per-request cost: batching
+amortizes per-request overheads and turns many single-row distance
+kernels into one batched kernel, at the price of up to one window of
+added queueing delay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.manu import ManuCluster
+from repro.config import ManuConfig, QueryConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.core.schema import CollectionSchema, DataType, FieldSchema
+
+from conftest import print_series
+
+WINDOWS_MS = (0.0, 5.0, 20.0, 50.0)
+REQUESTS = 40
+
+
+def test_ablation_request_batching(benchmark, rng):
+    rows = []
+    makespans: dict[float, float] = {}
+    vectors = rng.standard_normal((1_000, 32)).astype(np.float32)
+
+    def run() -> None:
+        for window in WINDOWS_MS:
+            config = ManuConfig(query=QueryConfig(batch_window_ms=window))
+            cluster = ManuCluster(config=config, num_query_nodes=2)
+            schema = CollectionSchema(
+                [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=32)])
+            cluster.create_collection("c", schema)
+            cluster.insert("c", {"vector": vectors})
+            cluster.run_for(300)
+            proxy = cluster.proxies[0]
+            start = cluster.now()
+            handles = [proxy.submit_search(
+                "c", vectors[i], 10,
+                consistency=ConsistencyLevel.EVENTUAL)
+                for i in range(REQUESTS)]
+            cluster.run_until_condition(
+                lambda: all(h.done for h in handles), max_ms=5_000)
+            assert all(h.done for h in handles)
+            # Node work = busy span minus the batching window's idle wait.
+            node_busy = max(n.busy_until_ms
+                            for n in cluster.query_coord.live_nodes())
+            makespans[window] = node_busy - start - window
+            rows.append((window, makespans[window],
+                         float(np.mean([h.result.latency_ms
+                                        for h in handles])),
+                         proxy.batches_flushed))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Ablation: request batching window",
+                 ["window (ms)", "node work for 40 reqs (ms)",
+                  "mean request latency (ms)", "batches"], rows)
+
+    # Batching reduces total node busy time (overhead amortization).
+    assert makespans[WINDOWS_MS[-1]] < makespans[0.0], makespans
+    # All requests land in one batch at the largest window.
+    assert rows[-1][3] == 1

@@ -1,0 +1,99 @@
+"""Ablation (Section 3.6): attribute-filter strategies + cost-based choice.
+
+"Manu supports three strategies for attribute filtering and uses a
+cost-based model to choose the most suitable strategy for each segment."
+
+The ablation sweeps predicate selectivity on one indexed segment and runs
+each strategy *forced*, recording the distance-computation work; then it
+checks that the cost-based chooser always lands within a small factor of
+the per-selectivity best strategy (no strategy is best everywhere, which
+is the reason the chooser exists).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SegmentConfig
+from repro.core.expr import FilterExpression
+from repro.core.filtering import FilterStrategy, choose_strategy, \
+    filtered_search
+from repro.core.schema import CollectionSchema, DataType, FieldSchema, \
+    MetricType
+from repro.core.segment import Segment
+from repro.index.base import SearchStats
+from repro.index.ivf import IvfFlatIndex
+
+from conftest import print_series
+
+N = 4_096
+SELECTIVITIES = (0.005, 0.05, 0.25, 0.75, 1.0)
+
+
+def _segment(rng) -> Segment:
+    schema = CollectionSchema([
+        FieldSchema("vector", DataType.FLOAT_VECTOR, dim=32),
+        FieldSchema("price", DataType.FLOAT),
+    ])
+    segment = Segment("s", "c", schema,
+                      SegmentConfig(seal_entity_count=10**9,
+                                    slice_size=10**9))
+    segment.append(list(range(N)), {
+        "vector": rng.standard_normal((N, 32)).astype(np.float32),
+        "price": np.arange(N, dtype=np.float64),
+    }, 1)
+    segment.seal()
+    index = IvfFlatIndex(MetricType.EUCLIDEAN, 32, nlist=64, nprobe=8)
+    index.build(segment.column("vector"))
+    segment.attach_index("vector", index)
+    return segment
+
+
+def test_ablation_filter_strategies(benchmark, rng):
+    segment = _segment(rng)
+    queries = rng.standard_normal((10, 32)).astype(np.float32)
+    rows = []
+    work: dict[tuple[float, str], float] = {}
+
+    def run() -> None:
+        for selectivity in SELECTIVITIES:
+            cutoff = selectivity * N
+            expr = FilterExpression(f"price < {cutoff}")
+            for strategy in FilterStrategy:
+                stats = SearchStats()
+                results, _ = filtered_search(
+                    segment, "vector", queries, 10,
+                    MetricType.EUCLIDEAN, expr, stats=stats,
+                    forced=strategy)
+                per_query = (stats.float_comparisons
+                             + stats.quantized_comparisons) / len(queries)
+                work[(selectivity, strategy.value)] = per_query
+                rows.append((selectivity, strategy.value, per_query,
+                             len(results[0][0])))
+            plan = choose_strategy(segment, "vector", 10, expr)
+            work[(selectivity, "chosen")] = \
+                work[(selectivity, plan.strategy.value)]
+            rows.append((selectivity, f"chosen={plan.strategy.value}",
+                         work[(selectivity, "chosen")], -1))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Ablation: filter strategies vs selectivity "
+                 "(comparisons per query)",
+                 ["selectivity", "strategy", "comparisons/query",
+                  "results"], rows)
+
+    # The trade-off exists: PRE wins at low selectivity, an indexed
+    # strategy wins when (almost) everything passes.
+    low = min(SELECTIVITIES)
+    high = max(SELECTIVITIES)
+    assert work[(low, "pre_filter")] < work[(low, "post_filter")]
+    assert work[(low, "pre_filter")] < work[(low, "scan_filter")]
+    indexed_best = min(work[(high, "post_filter")],
+                       work[(high, "scan_filter")])
+    assert indexed_best < work[(high, "pre_filter")]
+    # The cost-based chooser is never far from the per-point optimum.
+    for selectivity in SELECTIVITIES:
+        optimum = min(work[(selectivity, s.value)]
+                      for s in FilterStrategy)
+        assert work[(selectivity, "chosen")] <= 3.0 * optimum, \
+            (selectivity, work[(selectivity, "chosen")], optimum)

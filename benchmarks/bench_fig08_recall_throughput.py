@@ -1,0 +1,93 @@
+"""Figure 8: recall vs throughput — Manu vs ES / Vearch / Vald / Vespa.
+
+Paper setup: 10M-vector SIFT (Euclidean) and DEEP (inner product) on a
+single node, top-50, sweeping index parameters to trace recall-QPS curves.
+Reported shape: Manu consistently on top; Vald and Vespa close behind
+(graph indexes, heavier runtimes); Vearch pays its searcher-broker-blender
+aggregation; ES, disk-based, is an order of magnitude slower.
+
+Scaled-down reproduction: 6k-vector SIFT-like and DEEP-like datasets, the
+same five architectures over this repo's real index implementations, with
+per-engine overheads from the shared cost model.  Recall is genuine
+(measured against exact ground truth); throughput is 1/virtual-latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.engines import (
+    ElasticsearchLikeEngine,
+    ManuEngine,
+    ValdLikeEngine,
+    VearchLikeEngine,
+    VespaLikeEngine,
+)
+from repro.datasets.synthetic import ground_truth, make_deep_like, \
+    make_sift_like
+
+from conftest import print_series
+
+N = 6_000
+TOPK = 50
+
+
+def _best_qps_at(results, min_recall: float) -> float:
+    """Best throughput an engine reaches at or above a recall level."""
+    qualified = [r.qps for r in results if r.recall >= min_recall]
+    return max(qualified) if qualified else 0.0
+
+
+def test_fig08_recall_throughput(benchmark):
+    datasets = {
+        "SIFT-like (Euclidean)": make_sift_like(n=N, nq=50),
+        "DEEP-like (IP)": make_deep_like(n=N, nq=50),
+    }
+    curves: dict[tuple[str, str], list] = {}
+
+    def run() -> None:
+        for ds_name, dataset in datasets.items():
+            truth = ground_truth(dataset, TOPK)
+            engines = [
+                ManuEngine(index_type="IVF_FLAT"),
+                ManuEngine(index_type="HNSW"),
+                ElasticsearchLikeEngine(),
+                VearchLikeEngine(),
+                ValdLikeEngine(),
+                VespaLikeEngine(),
+            ]
+            for engine in engines:
+                label = engine.name
+                if label == "Manu":
+                    label = f"Manu[{engine.index_type}]"
+                engine.fit(dataset)
+                curves[(ds_name, label)] = engine.measure(TOPK, truth)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (ds_name, engine), results in sorted(curves.items()):
+        for point in results:
+            rows.append((ds_name, engine, point.recall, point.qps,
+                         point.latency_ms))
+    print_series("Figure 8: recall vs throughput (top-50)",
+                 ["dataset", "engine", "recall@50", "QPS",
+                  "latency (virtual ms)"], rows)
+
+    for ds_name in datasets:
+        best = {}
+        for (name, engine), results in curves.items():
+            if name == ds_name:
+                best[engine] = _best_qps_at(results, 0.8)
+        manu = max(best.get("Manu[IVF_FLAT]", 0.0),
+                   best.get("Manu[HNSW]", 0.0))
+        print(f"\n{ds_name}: best QPS at recall>=0.8: "
+              + ", ".join(f"{k}={v:.0f}" for k, v in sorted(best.items())))
+        # Ordering of the paper: Manu > Vald/Vespa > Vearch > ES.
+        assert manu > best["Vald"], ds_name
+        assert manu > best["Vespa"], ds_name
+        assert min(best["Vald"], best["Vespa"]) > best["ES"], ds_name
+        assert manu > best["Vearch"], ds_name
+        assert best["Vearch"] > best["ES"], ds_name
+        # ES is an order of magnitude below Manu.
+        assert manu > 5 * best["ES"], ds_name

@@ -1,0 +1,106 @@
+"""Figure 9: elasticity under a one-day e-commerce traffic trace.
+
+Paper setup: replay a day of e-commerce search traffic (Taobao trace;
+violent fluctuation, evening peak far above the night valley) on SIFT100M;
+Manu adds query nodes to 2x when latency exceeds 150 ms and halves them
+when it drops under 100 ms.  Reported shape: node count tracks the traffic
+curve and latency stays within the target band.
+
+Scaled-down reproduction: the synthetic diurnal curve of
+:func:`repro.sim.workloads.diurnal_traffic` compressed to 4 virtual
+minutes (1 "hour" = 10 virtual s), 4k vectors, a slow virtual CPU, and a
+latency band recalibrated to the scaled service times.  Expected shape:
+more query nodes at the evening peak than the morning valley, and
+steady-state latency within the band most of the time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.manu import ManuCluster
+from repro.cluster.scaling import Autoscaler
+from repro.config import ManuConfig, ScalingConfig, SegmentConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.core.schema import CollectionSchema, DataType, FieldSchema, \
+    MetricType
+from repro.datasets.synthetic import make_sift_like
+from repro.sim.costmodel import CostModel
+from repro.sim.workloads import SearchDriver, diurnal_traffic, \
+    poisson_arrivals
+
+from conftest import print_series
+
+HOUR_MS = 10_000.0  # one simulated "hour"
+BAND_LOW, BAND_HIGH = 4.0, 14.0
+
+
+def test_fig09_elasticity(benchmark, rng):
+    config = ManuConfig(
+        scaling=ScalingConfig(latency_high_ms=BAND_HIGH,
+                              latency_low_ms=BAND_LOW,
+                              evaluation_interval_ms=HOUR_MS / 2,
+                              min_query_nodes=1, max_query_nodes=16),
+        segment=SegmentConfig(seal_entity_count=256, slice_size=128))
+    cluster = ManuCluster(config=config,
+                          cost_model=CostModel(mac_per_ms=1e4),
+                          num_query_nodes=2)
+    schema = CollectionSchema(
+        [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=128)])
+    cluster.create_collection("c", schema)
+    dataset = make_sift_like(n=4_096, nq=100)
+    cluster.insert("c", {"vector": dataset.vectors})
+    cluster.run_for(500)
+    cluster.flush("c")
+    cluster.create_index("c", "vector", "IVF_FLAT", MetricType.EUCLIDEAN,
+                         {"nlist": 64, "nprobe": 8})
+    cluster.wait_for_indexes("c")
+
+    # Simulate the day starting at the morning valley (9 am) so the
+    # cluster warms up under light load, as a real deployment would.
+    hours = np.concatenate([np.arange(9.0, 24.0), np.arange(0.0, 9.0)])
+    qps_curve = diurnal_traffic(hours, base_qps=15.0, peak_qps=250.0,
+                                promo_hours=(10.0,))
+    samples: list[tuple[float, float, int, float]] = []
+
+    def run() -> None:
+        scaler = Autoscaler(cluster)
+        scaler.start()
+        driver = SearchDriver(cluster, "c", dataset.queries, k=50,
+                              metric=MetricType.EUCLIDEAN,
+                              consistency=ConsistencyLevel.EVENTUAL)
+        arrival_rng = np.random.default_rng(77)
+        start = cluster.now()
+        for step, (hour, qps) in enumerate(zip(hours, qps_curve)):
+            t_hour = start + step * HOUR_MS
+            arrivals = poisson_arrivals(qps, HOUR_MS, arrival_rng,
+                                        start_ms=t_hour)
+            before = len(driver.latencies_ms)
+            driver.run_at(arrivals)
+            cluster.run_until(t_hour + HOUR_MS)
+            hour_lats = driver.latencies_ms[before:]
+            samples.append((float(hour), float(qps),
+                            cluster.num_query_nodes,
+                            float(np.mean(hour_lats))
+                            if hour_lats else float("nan")))
+        scaler.stop()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_series("Figure 9: diurnal traffic, latency and node count",
+                 ["hour", "traffic (QPS)", "query nodes",
+                  "mean latency (virtual ms)"], samples)
+
+    nodes_by_hour = {int(h): n for h, _q, n, _l in samples}
+    peak_hour = int(hours[int(np.argmax(qps_curve))])
+    valley_hour = int(hours[int(np.argmin(qps_curve))])
+    print(f"\npeak hour {peak_hour}: {nodes_by_hour[peak_hour]} nodes; "
+          f"valley hour {valley_hour}: {nodes_by_hour[valley_hour]} nodes")
+    # Shape: node count tracks traffic.
+    assert nodes_by_hour[peak_hour] > nodes_by_hour[valley_hour], \
+        "autoscaler should use more nodes at the traffic peak"
+    # Latency is kept inside (or near) the band most of the day.
+    lats = [lat for _h, _q, _n, lat in samples if np.isfinite(lat)]
+    in_band = sum(1 for lat in lats if lat <= BAND_HIGH * 1.5)
+    assert in_band >= 0.7 * len(lats), \
+        f"latency should stay mostly within the band ({in_band}/{len(lats)})"

@@ -1,0 +1,105 @@
+"""Figure 10: throughput scales ~linearly with query nodes.
+
+Paper setup: fixed datasets (SIFT/DEEP), IVF-Flat and HNSW indexes, vary
+the number of query nodes; QPS grows almost linearly because segments (the
+unit of parallelism) redistribute evenly.
+
+Scaled-down reproduction: 4k vectors in 16 x 256-row segments, 1/2/4/8
+query nodes.  Throughput is measured with a burst of back-to-back
+searches: the makespan of the burst is the busy time of the most loaded
+node, so QPS = burst size / makespan — exactly the quantity that halves
+when each node handles half the segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.manu import ManuCluster
+from repro.config import ManuConfig, SegmentConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.core.schema import CollectionSchema, DataType, FieldSchema, \
+    MetricType
+from repro.datasets.synthetic import make_deep_like, make_sift_like
+from repro.sim.costmodel import CostModel
+
+from conftest import print_series
+
+NODE_COUNTS = (1, 2, 4, 8)
+BURST = 100
+
+
+def measure_qps(cluster: ManuCluster, collection: str, queries,
+                metric: MetricType, k: int = 50) -> float:
+    """Burst throughput: BURST searches arriving at once."""
+    cluster.run_for(200)
+    start = cluster.now()
+    finish = start
+    rng = np.random.default_rng(5)
+    for node in cluster.query_coord.live_nodes():
+        node.busy_until_ms = start
+    for _ in range(BURST):
+        result = cluster.search(
+            collection, queries[int(rng.integers(len(queries)))], k,
+            metric=metric, consistency=ConsistencyLevel.EVENTUAL,
+            at_ms=start)[0]
+        finish = max(finish, start + result.latency_ms)
+    makespan_ms = finish - start
+    return BURST / (makespan_ms / 1000.0)
+
+
+def build_cluster(dataset, index_type: str, params: dict,
+                  num_query_nodes: int) -> ManuCluster:
+    config = ManuConfig(segment=SegmentConfig(seal_entity_count=256))
+    cluster = ManuCluster(config=config,
+                          cost_model=CostModel(mac_per_ms=1e5),
+                          num_query_nodes=num_query_nodes)
+    schema = CollectionSchema(
+        [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=dataset.dim)])
+    cluster.create_collection("c", schema)
+    cluster.insert("c", {"vector": dataset.vectors})
+    cluster.run_for(500)
+    cluster.flush("c")
+    cluster.create_index("c", "vector", index_type, dataset.metric, params)
+    assert cluster.wait_for_indexes("c")
+    cluster.query_coord.balance()
+    cluster.run_for(1_000)
+    return cluster
+
+
+def test_fig10_scaling_query_nodes(benchmark):
+    setups = {
+        ("SIFT-like", "IVF_FLAT"): (make_sift_like(n=4_000, nq=50),
+                                    {"nlist": 32, "nprobe": 8}),
+        ("DEEP-like", "HNSW"): (make_deep_like(n=4_000, nq=50),
+                                {"M": 12, "ef_construction": 60,
+                                 "ef_search": 50}),
+    }
+    rows = []
+    qps_table: dict[tuple[str, str, int], float] = {}
+
+    def run() -> None:
+        for (ds_name, index_type), (dataset, params) in setups.items():
+            for nodes in NODE_COUNTS:
+                cluster = build_cluster(dataset, index_type, params, nodes)
+                qps = measure_qps(cluster, "c", dataset.queries,
+                                  dataset.metric)
+                qps_table[(ds_name, index_type, nodes)] = qps
+                rows.append((ds_name, index_type, nodes, qps))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Figure 10: throughput vs number of query nodes",
+                 ["dataset", "index", "query nodes", "QPS"], rows)
+
+    for (ds_name, index_type), _ in setups.items():
+        series = [qps_table[(ds_name, index_type, n)]
+                  for n in NODE_COUNTS]
+        print(f"{ds_name}/{index_type}: speedup over 1 node: "
+              + ", ".join(f"{n}x={q / series[0]:.2f}"
+                          for n, q in zip(NODE_COUNTS, series)))
+        # Near-linear scaling: 8 nodes give at least 4x, and throughput is
+        # monotone in the node count.
+        assert all(b >= a * 0.95 for a, b in zip(series, series[1:])), \
+            f"{ds_name}/{index_type}: QPS must not degrade with nodes"
+        assert series[-1] >= 4.0 * series[0], \
+            f"{ds_name}/{index_type}: 8 nodes should be >= 4x of 1 node"

@@ -1,0 +1,53 @@
+"""Figure 11: throughput scales ~linearly with the reciprocal data volume.
+
+Paper setup: fixed two query nodes, grow the dataset (10M -> 80M); QPS
+falls roughly as 1/volume because, with segment size fixed, each query
+node scans proportionally more segments per query.
+
+Scaled-down reproduction: 2k/4k/8k/16k vectors in fixed 256-row segments
+on two query nodes; same burst-throughput measurement as Figure 10.
+Expected shape: QPS(volume) * volume roughly constant (within 2x), QPS
+monotonically decreasing.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import make_sift_like
+
+from bench_fig10_scaling_nodes import build_cluster, measure_qps
+from conftest import print_series
+
+VOLUMES = (2_000, 4_000, 8_000, 16_000)
+
+
+def test_fig11_scaling_data_volume(benchmark):
+    full = make_sift_like(n=VOLUMES[-1], nq=50)
+    rows = []
+    qps_by_volume: dict[int, float] = {}
+
+    def run() -> None:
+        for volume in VOLUMES:
+            dataset = full.subset(volume)
+            cluster = build_cluster(dataset, "IVF_FLAT",
+                                    {"nlist": 32, "nprobe": 8},
+                                    num_query_nodes=2)
+            qps = measure_qps(cluster, "c", dataset.queries,
+                              dataset.metric)
+            qps_by_volume[volume] = qps
+            rows.append(("SIFT-like", "IVF_FLAT", volume, qps,
+                         qps * volume / 1e6))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Figure 11: throughput vs data volume (2 query nodes)",
+                 ["dataset", "index", "volume", "QPS",
+                  "QPS x volume (1e6)"], rows)
+
+    series = [qps_by_volume[v] for v in VOLUMES]
+    # Monotone decrease with volume.
+    assert all(b < a for a, b in zip(series, series[1:])), \
+        "QPS must fall as the volume grows"
+    # Reciprocal shape: doubling the data roughly halves throughput;
+    # allow slack for fixed per-query overheads.
+    products = [q * v for q, v in zip(series, VOLUMES)]
+    assert max(products) <= 2.5 * min(products), \
+        f"QPS*volume should stay roughly constant, got {products}"

@@ -1,0 +1,88 @@
+"""Figure 12: search latency vs grace time for varying time-tick intervals.
+
+Paper setup: streaming updates; a search with grace time (staleness
+tolerance) tau must observe every update older than tau, so small tau
+makes queries wait for the next time-tick.  Reported shape: latency drops
+quickly as tau grows, and shorter tick intervals give shorter latency at
+every tau (legends are tick intervals).
+
+Reproduction: the real log/TSO/time-tick machinery on the virtual clock —
+tick intervals 25/50/100/200 ms, tau swept 0-250 ms, a trickle of inserts,
+and searches issued at phases spread across the tick period.  Latency here
+is dominated by the consistency wait, exactly as in the paper's figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.manu import ManuCluster
+from repro.config import LogConfig, ManuConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.core.schema import CollectionSchema, DataType, FieldSchema
+
+from conftest import print_series
+
+TICK_INTERVALS = (25.0, 50.0, 100.0, 200.0)
+GRACE_TIMES = (0.0, 25.0, 50.0, 100.0, 150.0, 250.0)
+SEARCHES_PER_POINT = 20
+
+
+def test_fig12_grace_time_vs_latency(benchmark, rng):
+    table: dict[tuple[float, float], float] = {}
+
+    def run() -> None:
+        for interval in TICK_INTERVALS:
+            config = ManuConfig(log=LogConfig(time_tick_interval_ms=interval))
+            cluster = ManuCluster(config=config, num_query_nodes=2)
+            schema = CollectionSchema(
+                [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=16)])
+            cluster.create_collection("c", schema)
+            vectors = rng.standard_normal((500, 16)).astype(np.float32)
+            cluster.insert("c", {"vector": vectors[:200]})
+            cluster.run_for(500)
+            for tau in GRACE_TIMES:
+                latencies = []
+                for i in range(SEARCHES_PER_POINT):
+                    # Occasional updates keep the stream alive; search
+                    # issue times are spread across the tick phase
+                    # independently of the writes (records double as
+                    # watermarks on their channel, so a search issued
+                    # right after a write would never wait).
+                    if i % 5 == 0:
+                        cluster.insert("c", {
+                            "vector": rng.standard_normal(
+                                (1, 16)).astype(np.float32)})
+                    cluster.run_for(interval * 0.37 + 1.3)
+                    result = cluster.search(
+                        "c", vectors[i % 200], 10,
+                        consistency=ConsistencyLevel.BOUNDED,
+                        staleness_ms=tau)[0]
+                    latencies.append(result.latency_ms)
+                table[(interval, tau)] = float(np.mean(latencies))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [(interval, tau, table[(interval, tau)])
+            for interval in TICK_INTERVALS for tau in GRACE_TIMES]
+    print_series("Figure 12: mean search latency vs grace time",
+                 ["tick interval (ms)", "grace time tau (ms)",
+                  "latency (virtual ms)"], rows)
+
+    for interval in TICK_INTERVALS:
+        series = [table[(interval, tau)] for tau in GRACE_TIMES]
+        # Latency decreases (weakly) with grace time and flattens once
+        # tau exceeds the tick interval.
+        assert series[0] >= series[-1], \
+            f"interval {interval}: latency must fall with grace time"
+        assert series[0] > 0.3 * interval, \
+            f"interval {interval}: tau=0 should wait a good tick fraction"
+        big_tau = [lat for tau, lat in zip(GRACE_TIMES, series)
+                   if tau >= 1.5 * interval]
+        if big_tau:
+            assert max(big_tau) < 0.2 * interval + 2.0, \
+                f"interval {interval}: generous tau should rarely wait"
+    # Shorter tick intervals give lower latency at strict consistency.
+    strict = [table[(interval, 0.0)] for interval in TICK_INTERVALS]
+    assert strict == sorted(strict), \
+        f"tau=0 latency should grow with the tick interval: {strict}"

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 5) at laptop scale: it prints the same rows/series the paper
+reports and asserts the qualitative *shape* (who wins, how curves trend),
+not absolute numbers — our substrate is a simulator, not the authors'
+EC2 testbed.  See EXPERIMENTS.md for the paper-vs-measured record.
+
+Benchmarks run once per invocation (``benchmark.pedantic`` with a single
+round): the interesting measurements are the virtual-time series printed
+by each experiment; the wall-clock number pytest-benchmark records is just
+the cost of regenerating the figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.entity import reset_auto_id_counter
+
+
+@pytest.fixture(autouse=True)
+def _fresh_auto_ids():
+    reset_auto_id_counter()
+    yield
+    reset_auto_id_counter()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def print_series(title: str, headers: list[str],
+                 rows: list[tuple]) -> None:
+    """Render one figure's data as an aligned text table."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), *(len(_fmt(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,54 @@
+"""Reproduction of *Manu: A Cloud Native Vector Database Management System*
+(Guo et al., PVLDB 15(12), 2022).
+
+A from-scratch, in-process implementation of the paper's system: the log
+backbone (WAL channels, time-ticks, binlog), delta consistency, the four
+coordinators and worker node types, the full Table-1 index catalog, and a
+discrete-event virtual clock that makes every evaluation figure
+reproducible deterministically.
+
+Quickstart::
+
+    import numpy as np
+    from repro import connect, Collection, CollectionSchema, FieldSchema
+    from repro.core.schema import DataType
+
+    connect()
+    schema = CollectionSchema(
+        [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=8)])
+    coll = Collection("demo", schema)
+    coll.insert({"vector": np.random.rand(100, 8).astype("float32")})
+    res = coll.search(vec=np.random.rand(8), limit=5,
+                      param={"metric_type": "Euclidean"})
+    print(res[0].pks)
+"""
+
+from repro.api.pymanu import Collection, connect, connections, parse_metric
+from repro.cluster.manu import ManuCluster
+from repro.config import ManuConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.core.schema import (
+    CollectionSchema,
+    DataType,
+    FieldSchema,
+    MetricType,
+)
+from repro.errors import ManuError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Collection",
+    "connect",
+    "connections",
+    "parse_metric",
+    "ManuCluster",
+    "ManuConfig",
+    "ConsistencyLevel",
+    "CollectionSchema",
+    "DataType",
+    "FieldSchema",
+    "MetricType",
+    "ManuError",
+    "__version__",
+]

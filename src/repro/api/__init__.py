@@ -1,0 +1,5 @@
+"""PyManu: the user-facing ORM-style API (Table 2)."""
+
+from repro.api.pymanu import Collection, connect, connections
+
+__all__ = ["Collection", "connect", "connections"]

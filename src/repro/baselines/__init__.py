@@ -1,0 +1,32 @@
+"""Baseline systems the paper compares against.
+
+* :mod:`repro.baselines.milvus` — the Milvus (1.x) architecture for the
+  Figure 6 mixed-workload comparison: a single write node performing both
+  data ingestion and index construction, no temporary indexes, eventual
+  consistency only;
+* :mod:`repro.baselines.engines` — single-node architecture models of
+  Elasticsearch, Vearch, Vald and Vespa for the Figure 8 recall-throughput
+  comparison, built over this repo's real index implementations with each
+  system's characteristic overheads (disk residency, aggregation layers,
+  implementation constants).
+"""
+
+from repro.baselines.milvus import MilvusLikeCluster
+from repro.baselines.engines import (
+    EngineResult,
+    ManuEngine,
+    ElasticsearchLikeEngine,
+    VearchLikeEngine,
+    ValdLikeEngine,
+    VespaLikeEngine,
+)
+
+__all__ = [
+    "MilvusLikeCluster",
+    "EngineResult",
+    "ManuEngine",
+    "ElasticsearchLikeEngine",
+    "VearchLikeEngine",
+    "ValdLikeEngine",
+    "VespaLikeEngine",
+]

@@ -1,0 +1,12 @@
+"""Cluster assembly.
+
+:mod:`repro.cluster.manu` wires the storage, log, coordinator and worker
+layers into a runnable in-process cluster on a virtual clock;
+:mod:`repro.cluster.scaling` implements the Figure-9 latency-band
+autoscaler on top of it.
+"""
+
+from repro.cluster.manu import ManuCluster
+from repro.cluster.scaling import Autoscaler
+
+__all__ = ["ManuCluster", "Autoscaler"]

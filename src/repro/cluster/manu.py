@@ -1,0 +1,464 @@
+"""ManuCluster: the whole system, wired and runnable in one process.
+
+Instantiates the four layers of Figure 2 — access (proxies), coordinators
+(root/data/query/index), workers (data/index/query nodes + loggers) and
+storage (metastore + object store + log broker) — on a shared virtual
+clock.  Everything communicates exactly as the paper describes: writes flow
+through loggers onto per-shard WAL channels; data nodes archive binlogs;
+index nodes build from binlogs; query nodes subscribe to the WAL and load
+sealed segments; coordination messages travel on the log.
+
+Public surface mirrors the system operations used by the evaluation:
+DDL (``create_collection``/``drop_collection``), DML (``insert``,
+``delete``), search (``search``, ``search_multivector``), index management
+(``create_index``), lifecycle (``flush``, ``compact``, checkpoints, time
+travel), and elasticity (``add_query_node``, ``remove_query_node``,
+``fail_query_node``).  Applications normally use the PyManu API
+(:mod:`repro.api.pymanu`) on top of this class.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, ManuConfig
+from repro.coord.data import DataCoordinator
+from repro.coord.index_coord import IndexCoordinator
+from repro.coord.query import QueryCoordinator
+from repro.coord.root import RootCoordinator
+from repro.core.checkpoint import Checkpoint, TimeTravel
+from repro.core.compaction import CompactionPolicy, SegmentMeta, \
+    compact_segments
+from repro.core.consistency import ConsistencyLevel
+from repro.core.multivector import MultiVectorQuery
+from repro.core.results import SearchResult
+from repro.core.schema import CollectionSchema, MetricType
+from repro.core.segment import Segment
+from repro.core.tso import TimestampOracle
+from repro.errors import ClusterStateError, ManuError
+from repro.log.broker import LogBroker
+from repro.log.logger_node import LoggerService
+from repro.log.timetick import TimeTickEmitter
+from repro.log.wal import shard_channel
+from repro.monitoring.metrics import MetricsRegistry
+from repro.nodes.data_node import DataNode
+from repro.nodes.index_node import IndexNode
+from repro.nodes.proxy import Proxy
+from repro.nodes.query_node import QueryNode
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.events import EventLoop
+from repro.storage.metastore import MetaStore
+from repro.storage.object_store import Backend, ObjectStore
+
+
+class ManuCluster:
+    """An in-process Manu deployment on a virtual clock."""
+
+    def __init__(self, config: Optional[ManuConfig] = None,
+                 cost_model: Optional[CostModel] = None,
+                 num_query_nodes: int = 2,
+                 num_index_nodes: int = 1,
+                 num_data_nodes: int = 1,
+                 num_proxies: int = 1,
+                 num_loggers: int = 2,
+                 store_backend: Optional[Backend] = None,
+                 enable_wal_archive: bool = False) -> None:
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.cost_model = (cost_model if cost_model is not None
+                           else DEFAULT_COST_MODEL)
+        self.loop = EventLoop()
+        self.tso = TimestampOracle(self.loop.now)
+        self.broker = LogBroker(self.loop,
+                                delivery_delay_ms=self.cost_model
+                                .rpc_latency_ms)
+        self.store = ObjectStore(store_backend)
+        self.metastore = MetaStore()
+        self.metrics = MetricsRegistry()
+
+        # Coordinators.
+        self.data_coord = DataCoordinator(self.metastore, self.broker,
+                                          self.store, self.tso, self.config,
+                                          self.loop.now)
+        self.root_coord = RootCoordinator(self.metastore, self.broker,
+                                          self.tso,
+                                          self.config.log.ddl_channel)
+        self.index_coord = IndexCoordinator(self.metastore, self.broker,
+                                            self.config, self.data_coord)
+        self.query_coord = QueryCoordinator(self.metastore, self.broker,
+                                            self.loop, self.config,
+                                            self.data_coord)
+        self.query_coord.index_coord = self.index_coord
+
+        # Loggers.
+        logger_names = tuple(f"logger-{i}" for i in range(num_loggers))
+        self.logger_service = LoggerService(
+            self.tso, self.broker, self.store, self.data_coord,
+            num_shards=self.config.log.num_shards,
+            logger_names=logger_names,
+            lsm_memtable_limit=self.config.storage.lsm_memtable_limit)
+
+        # Workers.
+        self._node_seq = itertools.count()
+        self.data_nodes: list[DataNode] = []
+        for i in range(num_data_nodes):
+            self.data_nodes.append(DataNode(
+                f"dn-{i}", self.loop, self.broker, self.store, self.config,
+                self.cost_model, self.root_coord.get_schema))
+        self.index_nodes: list[IndexNode] = []
+        for i in range(num_index_nodes):
+            node = IndexNode(f"in-{i}", self.loop, self.broker, self.store,
+                             self.config, self.cost_model)
+            self.index_nodes.append(node)
+            self.index_coord.add_node(node)
+        for i in range(num_query_nodes):
+            self._new_query_node()
+
+        self.proxies: list[Proxy] = []
+        for i in range(num_proxies):
+            self.proxies.append(Proxy(
+                f"proxy-{i}", self.loop, self.tso, self.config,
+                self.cost_model, self.logger_service, self.root_coord,
+                self.query_coord, metrics=self.metrics))
+        self._proxy_rr = itertools.cycle(range(num_proxies))
+
+        # Time ticks on every data channel plus the coordination channel.
+        self.timetick = TimeTickEmitter(
+            self.loop, self.broker, self.tso,
+            self.config.log.time_tick_interval_ms)
+        self.timetick.start()
+
+        # Data nodes consume seal decisions from the coordination channel.
+        for data_node in self.data_nodes:
+            data_node.subscribe_coord()
+        self._data_rr = itertools.cycle(range(max(1, num_data_nodes)))
+        self._channel_data_node: dict[str, DataNode] = {}
+
+        # Optional WAL archival to object storage (durability beyond the
+        # in-memory broker; Section 3.3's durable log).
+        self.wal_archiver = None
+        if enable_wal_archive:
+            from repro.log.archive import WalArchiver
+            self.wal_archiver = WalArchiver(self.broker, self.store)
+
+        # Housekeeping timers.
+        self.loop.call_every(self.config.segment.seal_idle_ms / 4.0,
+                             self._housekeeping, name="housekeeping")
+        self.root_coord.on_create(self._wire_collection)
+        self.root_coord.on_drop(self._unwire_collection)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def _new_query_node(self) -> QueryNode:
+        name = f"qn-{next(self._node_seq)}"
+        node = QueryNode(name, self.loop, self.broker, self.store,
+                         self.config, self.cost_model,
+                         self.root_coord.get_schema)
+        self.query_coord.add_node(node)
+        return node
+
+    def _wire_collection(self, name: str,
+                         schema: CollectionSchema) -> None:
+        channels = self.logger_service.ensure_channels(name)
+        for channel in channels:
+            self.timetick.add_channel(channel)
+            data_node = self.data_nodes[next(self._data_rr)
+                                        % len(self.data_nodes)]
+            data_node.subscribe(channel)
+            self._channel_data_node[channel] = data_node
+            if self.wal_archiver is not None:
+                self.wal_archiver.attach(channel)
+        self.query_coord.load_collection(name, self.config.log.num_shards)
+
+    def _unwire_collection(self, name: str) -> None:
+        self.query_coord.release_collection(name)
+        for shard in range(self.config.log.num_shards):
+            channel = shard_channel(name, shard)
+            self.timetick.remove_channel(channel)
+            data_node = self._channel_data_node.pop(channel, None)
+            if data_node is not None:
+                data_node.unsubscribe(channel)
+
+    def _housekeeping(self) -> None:
+        self.data_coord.check_idle()
+        for data_node in self.data_nodes:
+            data_node.flush_delta_logs()
+
+    # ------------------------------------------------------------------
+    # time control
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self.loop.now()
+
+    def run_for(self, ms: float) -> None:
+        """Advance virtual time, executing all scheduled work."""
+        self.loop.run_for(ms)
+
+    def run_until(self, t_ms: float) -> None:
+        self.loop.run_until(t_ms)
+
+    def run_until_condition(self, predicate: Callable[[], bool],
+                            max_ms: float = 60_000.0,
+                            poll_ms: float = 10.0) -> bool:
+        """Run until ``predicate()`` or a virtual deadline; returns success."""
+        deadline = self.loop.now() + max_ms
+        while self.loop.now() < deadline:
+            if predicate():
+                return True
+            self.loop.run_for(poll_ms)
+        return predicate()
+
+    # ------------------------------------------------------------------
+    # DDL / DML / search
+    # ------------------------------------------------------------------
+
+    def proxy(self) -> Proxy:
+        """Round-robin proxy selection (access layer load spreading)."""
+        return self.proxies[next(self._proxy_rr) % len(self.proxies)]
+
+    def create_collection(self, name: str,
+                          schema: CollectionSchema) -> None:
+        self.root_coord.create_collection(name, schema)
+
+    def drop_collection(self, name: str) -> None:
+        self.root_coord.drop_collection(name)
+
+    def insert(self, collection: str, data: Mapping) -> tuple:
+        return self.proxy().insert(collection, data)
+
+    def delete(self, collection: str, expr: str) -> int:
+        return self.proxy().delete(collection, expr)
+
+    def search(self, collection: str, queries, k: int,
+               field: Optional[str] = None,
+               metric: MetricType = MetricType.EUCLIDEAN,
+               expr: Optional[str] = None,
+               consistency: ConsistencyLevel = ConsistencyLevel.BOUNDED,
+               staleness_ms: float = 100.0,
+               at_ms: Optional[float] = None) -> list[SearchResult]:
+        return self.proxy().search(collection, queries, k, field=field,
+                                   metric=metric, expr=expr,
+                                   consistency=consistency,
+                                   staleness_ms=staleness_ms, at_ms=at_ms)
+
+    def search_multivector(self, collection: str, query: MultiVectorQuery,
+                           k: int) -> SearchResult:
+        return self.proxy().search_multivector(collection, query, k)
+
+    def get(self, collection: str, pks) -> dict:
+        """Point reads: pk -> {field: value} for live entities."""
+        return self.proxy().get(collection, pks)
+
+    def upsert(self, collection: str, data: Mapping) -> tuple:
+        """Replace-or-insert by explicit primary key."""
+        return self.proxy().upsert(collection, data)
+
+    def range_search(self, collection: str, query, radius: float,
+                     field: Optional[str] = None,
+                     metric: MetricType = MetricType.EUCLIDEAN,
+                     expr: Optional[str] = None,
+                     consistency: ConsistencyLevel =
+                     ConsistencyLevel.BOUNDED,
+                     staleness_ms: float = 100.0,
+                     limit: Optional[int] = None) -> SearchResult:
+        """All entities within a distance/similarity radius (exact)."""
+        return self.proxy().range_search(
+            collection, query, radius, field=field, metric=metric,
+            expr=expr, consistency=consistency,
+            staleness_ms=staleness_ms, limit=limit)
+
+    def create_index(self, collection: str, field: str, index_type: str,
+                     metric: MetricType = MetricType.EUCLIDEAN,
+                     params: Optional[Mapping] = None) -> None:
+        if not self.root_coord.has_collection(collection):
+            raise ManuError(f"collection {collection!r} does not exist")
+        self.index_coord.create_index(collection, field, index_type,
+                                      metric, params)
+
+    # ------------------------------------------------------------------
+    # lifecycle helpers
+    # ------------------------------------------------------------------
+
+    def flush(self, collection: str, settle_ms: float = 2_000.0) -> None:
+        """Seal all growing segments and wait for binlogs + handoff."""
+        sealed = self.data_coord.seal_all(collection)
+
+        def flushed() -> bool:
+            done = set(self.data_coord.flushed_segments(collection))
+            return all(sid in done for sid in sealed)
+
+        self.run_until_condition(flushed, max_ms=settle_ms)
+        self.run_for(self.cost_model.object_store_latency_ms * 2)
+
+    def wait_for_indexes(self, collection: str,
+                         max_ms: float = 120_000.0) -> bool:
+        """Run until every flushed segment has its declared indexes."""
+        specs = self.index_coord.index_specs_for(collection)
+        if not specs:
+            return True
+
+        def ready() -> bool:
+            for segment_id in self.data_coord.flushed_segments(collection):
+                for field in specs:
+                    if self.index_coord.index_route(collection, segment_id,
+                                                    field) is None:
+                        return False
+            return True
+
+        return self.run_until_condition(ready, max_ms=max_ms)
+
+    def checkpoint(self, collection: str) -> Checkpoint:
+        return self.data_coord.checkpoint_collection(
+            collection, self.config.log.num_shards)
+
+    def apply_retention(self, collection: str,
+                        expire_before_ms: float) -> int:
+        """Expire old checkpoints, WAL and orphaned binlogs (Section 4.3)."""
+        from repro.core.checkpoint import apply_retention
+        return apply_retention(
+            self.store, self.broker, collection,
+            self.config.log.num_shards, expire_before_ms,
+            live_segments=set(
+                self.data_coord.flushed_segments(collection)))
+
+    def time_travel(self, collection: str,
+                    target_ms: float) -> dict[str, Segment]:
+        """Reconstruct the collection's state at a past physical time."""
+        schema = self.root_coord.get_schema(collection)
+        if schema is None:
+            raise ManuError(f"collection {collection!r} does not exist")
+        travel = TimeTravel(self.store, self.broker,
+                            self.config.log.num_shards, self.config.segment)
+        return travel.restore(collection, schema, target_ms)
+
+    def compact(self, collection: str) -> list[str]:
+        """Merge small / delete-heavy sealed segments; returns new ids."""
+        schema = self.root_coord.get_schema(collection)
+        if schema is None:
+            raise ManuError(f"collection {collection!r} does not exist")
+        metas = []
+        deleted: dict[str, set] = {}
+        for segment_id in self.data_coord.flushed_segments(collection):
+            info = self.data_coord.segment_info(collection, segment_id)
+            holder = self._segment_holder(collection, segment_id)
+            num_deleted = 0
+            if holder is not None:
+                segment = holder.segment(collection, segment_id)
+                if segment is not None:
+                    num_deleted = segment.num_deleted
+                    mask = segment.deleted_mask()
+                    deleted[segment_id] = {
+                        pk for pk, dead in zip(segment.pks, mask) if dead}
+            metas.append(SegmentMeta(segment_id, info["num_rows"],
+                                     num_deleted))
+        policy = CompactionPolicy(self.config.segment)
+        # Input binlogs still referenced by a time-travel checkpoint are
+        # preserved; retention deletes them once the checkpoints expire.
+        from repro.core.checkpoint import CheckpointManager
+        referenced: set[str] = set()
+        for checkpoint in CheckpointManager(self.store) \
+                .list_checkpoints(collection):
+            referenced.update(checkpoint.flushed_segments)
+        new_ids = []
+        for group in policy.plan(metas):
+            manifest = compact_segments(
+                self.store, collection, group, deleted,
+                keep_inputs=[sid for sid in group if sid in referenced])
+            # Register the merged segment and retire the inputs.
+            self.metastore.put(
+                f"segments/{collection}/{manifest.segment_id}",
+                {"shard": -1, "state": "flushed",
+                 "num_rows": manifest.num_rows,
+                 "max_lsn": manifest.max_lsn, "channel_offset": 0})
+            for old in group:
+                self.metastore.put(f"segments/{collection}/{old}",
+                                   {"state": "compacted"})
+                holders = self.query_coord._assignments.pop(
+                    (collection, old), set())
+                for name in holders:
+                    node = self.query_coord._nodes.get(name)
+                    if node is not None:
+                        node.release_segment(collection, old)
+            self.query_coord._assign_segment(collection,
+                                             manifest.segment_id)
+            for field in self.index_coord.index_specs_for(collection):
+                self.index_coord._dispatch(collection, manifest.segment_id,
+                                           field)
+            new_ids.append(manifest.segment_id)
+        return new_ids
+
+    def _segment_holder(self, collection: str,
+                        segment_id: str) -> Optional[QueryNode]:
+        holders = self.query_coord._assignments.get(
+            (collection, segment_id), set())
+        for name in sorted(holders):
+            node = self.query_coord._nodes.get(name)
+            if node is not None and node.alive:
+                return node
+        return None
+
+    # ------------------------------------------------------------------
+    # elasticity
+    # ------------------------------------------------------------------
+
+    def add_query_node(self) -> str:
+        """Scale up by one query node (rebalanced automatically)."""
+        return self._new_query_node().name
+
+    def remove_query_node(self, name: Optional[str] = None) -> str:
+        """Graceful scale-down of one query node."""
+        if name is None:
+            names = self.query_coord.node_names
+            if len(names) <= 1:
+                raise ClusterStateError("cannot remove the last query node")
+            name = names[-1]
+        self.query_coord.remove_node(name)
+        return name
+
+    def fail_query_node(self, name: str) -> None:
+        """Inject an abrupt query-node failure (recovery is automatic)."""
+        self.query_coord.fail_node(name)
+
+    def fail_logger(self, name: str) -> None:
+        """Inject a logger failure.
+
+        The hash ring moves the logger's shard buckets to its successors;
+        the entity-to-segment mappings survive because they are keyed by
+        shard and persisted as SSTables in object storage (Section 3.3).
+        """
+        self.logger_service.remove_logger(name)
+
+    def add_logger(self, name: str) -> None:
+        """Scale the logger tier up by one node."""
+        self.logger_service.add_logger(name)
+
+    @property
+    def num_query_nodes(self) -> int:
+        return len(self.query_coord.live_nodes())
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def collection_row_count(self, collection: str) -> int:
+        """Live rows visible across query nodes (deduplicated by segment)."""
+        seen: set[str] = set()
+        total = 0
+        for node in self.query_coord.live_nodes():
+            for segment_id in node.segments_of(collection):
+                if segment_id in seen:
+                    continue
+                seen.add(segment_id)
+                segment = node.segment(collection, segment_id)
+                if segment is not None:
+                    total += segment.num_live_rows
+        return total
+
+    def stats_snapshot(self) -> dict[str, float]:
+        return self.metrics.snapshot(self.loop.now())

@@ -1,0 +1,80 @@
+"""Latency-band autoscaler (Figure 9).
+
+"Manu is configured to reduce query nodes by 0.5x when search latency is
+shorter than 100ms and add query nodes to 2x when search latency is over
+150ms."  The autoscaler samples the proxy's sliding-window mean search
+latency on a fixed evaluation period and applies exactly that policy,
+bounded by the configured min/max node counts.  Scale events are recorded
+for the figure's colored-band rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.manu import ManuCluster
+from repro.config import ScalingConfig
+from repro.sim.events import Event
+
+
+@dataclass
+class ScaleEvent:
+    """One autoscaler decision, kept for plotting and assertions."""
+
+    at_ms: float
+    action: str  # 'up' | 'down'
+    from_nodes: int
+    to_nodes: int
+    observed_latency_ms: float
+
+
+@dataclass
+class Autoscaler:
+    """Periodic latency-band scaler for query nodes."""
+
+    cluster: ManuCluster
+    policy: Optional[ScalingConfig] = None
+    events: list[ScaleEvent] = field(default_factory=list)
+    _timer: Optional[Event] = None
+
+    def __post_init__(self) -> None:
+        if self.policy is None:
+            self.policy = self.cluster.config.scaling
+
+    def start(self) -> None:
+        if self._timer is not None:
+            raise RuntimeError("autoscaler already started")
+        self._timer = self.cluster.loop.call_every(
+            self.policy.evaluation_interval_ms, self.evaluate,
+            name="autoscaler")
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def evaluate(self) -> Optional[ScaleEvent]:
+        """One policy evaluation; returns the event if scaling happened."""
+        now = self.cluster.now()
+        window = self.cluster.metrics.latency("proxy.search_latency")
+        latency = window.mean(now)
+        if latency is None:
+            return None
+        current = self.cluster.num_query_nodes
+        event: Optional[ScaleEvent] = None
+        if latency > self.policy.latency_high_ms \
+                and current < self.policy.max_query_nodes:
+            target = min(current * 2, self.policy.max_query_nodes)
+            for _ in range(target - current):
+                self.cluster.add_query_node()
+            event = ScaleEvent(now, "up", current, target, latency)
+        elif latency < self.policy.latency_low_ms \
+                and current > self.policy.min_query_nodes:
+            target = max(current // 2, self.policy.min_query_nodes)
+            for _ in range(current - target):
+                self.cluster.remove_query_node()
+            event = ScaleEvent(now, "down", current, target, latency)
+        if event is not None:
+            self.events.append(event)
+        return event

@@ -1,0 +1,134 @@
+"""Cluster-wide configuration.
+
+All tunables from the paper are collected here with the paper's defaults:
+
+* segments seal at 512 MB (Section 3.1) — scaled to an entity-count budget so
+  laptop-scale experiments exercise the same sealing logic;
+* growing segments are sealed after 10 s without an insertion (Section 3.1);
+* slices hold 10 000 vectors and get a temporary IVF-Flat index (Section 3.6);
+* time-ticks are emitted every 50 ms by default (Section 3.4 / Figure 12);
+* SSD buckets target 4 KB blocks (Section 4.4).
+
+Times are expressed in *virtual milliseconds*: the whole cluster runs on the
+discrete-event clock in :mod:`repro.sim.clock`, so experiments are
+deterministic and independent of host speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class LogConfig:
+    """Log-backbone tunables."""
+
+    num_shards: int = 2
+    """Number of WAL shard channels for data-manipulation requests."""
+
+    time_tick_interval_ms: float = 50.0
+    """Period between time-tick control messages on every WAL channel."""
+
+    ddl_channel: str = "wal/ddl"
+    """Channel carrying data-definition requests (create/drop collection)."""
+
+    coord_channel: str = "wal/coord"
+    """Channel carrying system-coordination messages (load/release/seal)."""
+
+
+@dataclass(frozen=True)
+class SegmentConfig:
+    """Segment lifecycle tunables."""
+
+    seal_entity_count: int = 4096
+    """Growing segments seal after this many entities (paper: 512 MB)."""
+
+    seal_idle_ms: float = 10_000.0
+    """Growing segments seal after this long without an insertion."""
+
+    slice_size: int = 1024
+    """Vectors per slice in a growing segment (paper default: 10 000)."""
+
+    temp_index_nlist: int = 16
+    """``nlist`` of the temporary IVF-Flat index built on full slices."""
+
+    enable_temp_index: bool = True
+    """Build temporary slice indexes on growing segments (Section 3.6);
+    disabled by the Milvus baseline, which brute-force scans unindexed
+    data."""
+
+    compaction_min_size: int = 1024
+    """Sealed segments smaller than this are candidates for merging."""
+
+    compaction_target_size: int = 4096
+    """Merged segments aim for this many entities."""
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Object-store and metastore tunables."""
+
+    object_store_latency_ms: float = 20.0
+    """Simulated per-request object-store latency (S3-like)."""
+
+    object_store_bandwidth_mbps: float = 400.0
+    """Simulated object-store bandwidth in MB per second."""
+
+    lsm_memtable_limit: int = 1024
+    """Logger LSM-tree memtable entries before a flush to SSTable."""
+
+
+@dataclass(frozen=True)
+class QueryConfig:
+    """Query-path tunables."""
+
+    default_topk: int = 50
+    """Default number of results per search request (paper evaluation)."""
+
+    consistency_deadline_ms: float = 60_000.0
+    """Hard deadline on delta-consistency waits before erroring out."""
+
+    replica_number: int = 1
+    """Hot replicas per collection for availability/throughput."""
+
+    batch_window_ms: float = 0.0
+    """Proxy-side request batching window; 0 disables batching."""
+
+
+@dataclass(frozen=True)
+class ScalingConfig:
+    """Autoscaler policy from Figure 9."""
+
+    latency_high_ms: float = 150.0
+    """Add query nodes (scale to 2x) when p-avg latency exceeds this."""
+
+    latency_low_ms: float = 100.0
+    """Remove query nodes (scale to 0.5x) when latency drops below this."""
+
+    min_query_nodes: int = 1
+    max_query_nodes: int = 64
+    evaluation_interval_ms: float = 10_000.0
+    """How often the autoscaler inspects the latency signal."""
+
+
+@dataclass(frozen=True)
+class ManuConfig:
+    """Top-level configuration for a :class:`repro.cluster.manu.ManuCluster`."""
+
+    log: LogConfig = field(default_factory=LogConfig)
+    segment: SegmentConfig = field(default_factory=SegmentConfig)
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    query: QueryConfig = field(default_factory=QueryConfig)
+    scaling: ScalingConfig = field(default_factory=ScalingConfig)
+
+    def with_overrides(self, **sections) -> "ManuConfig":
+        """Return a copy with whole sections replaced.
+
+        Example::
+
+            cfg = ManuConfig().with_overrides(log=LogConfig(num_shards=4))
+        """
+        return replace(self, **sections)
+
+
+DEFAULT_CONFIG = ManuConfig()

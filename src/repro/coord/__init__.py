@@ -1,0 +1,27 @@
+"""Coordinator layer (Section 3.2).
+
+Four coordinators manage system status and metadata, all of it persisted in
+the etcd-like metastore so a restarted coordinator instance recovers state:
+
+* :mod:`repro.coord.root` — collection DDL and schema catalog;
+* :mod:`repro.coord.data` — segment allocation, sealing policy, binlog
+  routes, checkpointing;
+* :mod:`repro.coord.index_coord` — index specs, build scheduling on index
+  nodes, index routes;
+* :mod:`repro.coord.query` — query-node membership, segment/channel
+  assignment, load balancing, failure recovery, scaling.
+"""
+
+from repro.coord.root import RootCoordinator
+from repro.coord.data import DataCoordinator
+from repro.coord.index_coord import IndexCoordinator
+from repro.coord.query import QueryCoordinator
+from repro.coord.election import LeaderElection
+
+__all__ = [
+    "RootCoordinator",
+    "DataCoordinator",
+    "IndexCoordinator",
+    "QueryCoordinator",
+    "LeaderElection",
+]

@@ -1,0 +1,132 @@
+"""Coordinator leader election (Section 4.1).
+
+"For coordinators that manage system functionalities, Manu uses the
+standard one main plus two hot backups configuration for high
+availability" — and Section 3.2 notes that etcd "provides high
+availability with its leader election mechanism for failure recovery".
+
+:class:`LeaderElection` implements that mechanism on the metastore's
+primitives: a candidate campaigns by creating the election key with a
+compare-and-swap (`expected_revision=0`) bound to a lease; the leader
+renews its lease on a heartbeat timer; if it stops (crash), the lease
+expires, the key vanishes, and a backup's next campaign wins.  Leadership
+changes invoke a callback so coordinator instances know when to take
+over.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import RevisionConflict
+from repro.sim.events import Event, EventLoop
+from repro.storage.metastore import MetaStore
+
+
+class LeaderElection:
+    """One candidate's participation in a named election."""
+
+    def __init__(self, metastore: MetaStore, loop: EventLoop,
+                 election: str, candidate: str,
+                 lease_ttl_ms: float = 3_000.0,
+                 heartbeat_ms: float = 1_000.0,
+                 on_elected: Optional[Callable[[str], None]] = None,
+                 on_deposed: Optional[Callable[[str], None]] = None,
+                 ) -> None:
+        if heartbeat_ms >= lease_ttl_ms:
+            raise ValueError("heartbeat must be shorter than the lease")
+        self._meta = metastore
+        self._loop = loop
+        self.election = election
+        self.candidate = candidate
+        self.lease_ttl_ms = lease_ttl_ms
+        self.heartbeat_ms = heartbeat_ms
+        self._on_elected = on_elected
+        self._on_deposed = on_deposed
+        self._lease_id: Optional[int] = None
+        self._timer: Optional[Event] = None
+        self.is_leader = False
+        self.terms_won = 0
+
+    @property
+    def _key(self) -> str:
+        return f"election/{self.election}"
+
+    # ------------------------------------------------------------------
+    # campaigning
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin campaigning and heart-beating (idempotent)."""
+        if self._timer is not None:
+            return
+        self._tick()
+        self._timer = self._loop.call_every(
+            self.heartbeat_ms, self._tick,
+            name=f"election:{self.election}:{self.candidate}")
+
+    def stop(self) -> None:
+        """Withdraw: release leadership (if held) and stop campaigning."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self.is_leader and self._lease_id is not None:
+            self._meta.revoke_lease(self._lease_id)
+        self._set_leader(False)
+        self._lease_id = None
+
+    def crash(self) -> None:
+        """Simulate failure: stop heart-beating WITHOUT releasing the
+        lease — the lease must expire before a backup can win."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        now = self._loop.now()
+        self._meta.expire_leases(now)
+        if self.is_leader:
+            try:
+                self._meta.keep_alive(self._lease_id, self.lease_ttl_ms,
+                                      now)
+            except RevisionConflict:
+                self._set_leader(False)  # lease was lost
+                self._campaign(now)
+            else:
+                # Defensive re-check: the key must still be ours.
+                current = self._meta.get_value(self._key)
+                if current != self.candidate:
+                    self._set_leader(False)
+        else:
+            self._campaign(now)
+
+    def _campaign(self, now: float) -> None:
+        lease_id = self._meta.grant_lease(self.lease_ttl_ms, now)
+        try:
+            self._meta.put(self._key, self.candidate,
+                           expected_revision=0, lease_id=lease_id)
+        except RevisionConflict:
+            self._meta.revoke_lease(lease_id)
+            return
+        self._lease_id = lease_id
+        self._set_leader(True)
+        self.terms_won += 1
+
+    def _set_leader(self, leader: bool) -> None:
+        if leader and not self.is_leader:
+            self.is_leader = True
+            if self._on_elected is not None:
+                self._on_elected(self.candidate)
+        elif not leader and self.is_leader:
+            self.is_leader = False
+            if self._on_deposed is not None:
+                self._on_deposed(self.candidate)
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def current_leader(self) -> Optional[str]:
+        """Who currently holds the election key (any candidate's view)."""
+        self._meta.expire_leases(self._loop.now())
+        return self._meta.get_value(self._key)

@@ -1,0 +1,12 @@
+"""Log co-processors (the paper's multi-way search direction, §7).
+
+"The log system of Manu allows to add search engines for other contents
+(e.g., primary key and text) as co-processors by subscribing to the log
+stream."  A co-processor attaches to the WAL like any other subscriber —
+no coordinator, node, or logger changes — which is exactly the
+evolvability property the log backbone exists to provide.
+"""
+
+from repro.coproc.keyword import KeywordCoProcessor, hybrid_search
+
+__all__ = ["KeywordCoProcessor", "hybrid_search"]

@@ -1,0 +1,90 @@
+"""Delta consistency (Section 3.4).
+
+Manu guarantees bounded staleness: the data seen by a query can be stale by
+at most ``tau`` time units relative to the query's issue time.  A log
+subscriber tracks the latest time-tick it consumed (``Ls``); a query issued
+at ``Lr`` with staleness tolerance ``tau`` may execute once
+``Lr - Ls < tau`` — otherwise it waits for the next tick.
+
+Equivalently, each query carries a *guarantee timestamp*: the subscriber
+must have consumed the log up to at least that point.  The four consistency
+levels map to guarantee timestamps as:
+
+* ``STRONG``       — ``Lr``           (delta = 0; sees everything before it);
+* ``BOUNDED``      — ``Lr - tau``     (the general delta model);
+* ``SESSION``      — the timestamp of the session's own last write
+  (read-your-writes);
+* ``EVENTUAL``     — 0                (delta = infinity; never waits).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from repro.core.tso import Timestamp
+
+
+class ConsistencyLevel(enum.Enum):
+    """User-selectable consistency levels."""
+
+    STRONG = "strong"
+    BOUNDED = "bounded"
+    SESSION = "session"
+    EVENTUAL = "eventual"
+
+
+def guarantee_ts(level: ConsistencyLevel, issue_ts: int,
+                 staleness_ms: float = 0.0,
+                 session_ts: int = 0) -> int:
+    """Packed guarantee timestamp for a query.
+
+    ``issue_ts`` is the query's packed issue timestamp (``Lr``);
+    ``staleness_ms`` is the user's tolerance ``tau`` for BOUNDED;
+    ``session_ts`` is the packed timestamp of the session's last write.
+    """
+    if level is ConsistencyLevel.STRONG:
+        return issue_ts
+    if level is ConsistencyLevel.BOUNDED:
+        if staleness_ms < 0:
+            raise ValueError(f"negative staleness {staleness_ms}")
+        issue = Timestamp.unpack(issue_ts)
+        physical = max(0, issue.physical_ms - int(staleness_ms))
+        return Timestamp(physical, issue.logical).pack()
+    if level is ConsistencyLevel.SESSION:
+        return session_ts
+    if level is ConsistencyLevel.EVENTUAL:
+        return 0
+    raise ValueError(f"unknown consistency level {level}")
+
+
+@dataclass
+class ConsistencyGate:
+    """Per-subscriber gate deciding whether a query may execute.
+
+    The subscriber updates ``seen_ts`` every time it consumes a time-tick
+    (or any record, since records also carry LSNs).  ``ready`` compares the
+    watermark against a query's guarantee timestamp.
+    """
+
+    seen_ts: int = 0
+    ticks_consumed: int = field(default=0)
+
+    def observe(self, ts: int) -> None:
+        """Advance the watermark (monotone; stale observations ignored)."""
+        if ts > self.seen_ts:
+            self.seen_ts = ts
+
+    def observe_tick(self, ts: int) -> None:
+        """Advance the watermark from a time-tick record."""
+        self.observe(ts)
+        self.ticks_consumed += 1
+
+    def ready(self, guarantee: int) -> bool:
+        """Whether data up to ``guarantee`` has been consumed."""
+        return self.seen_ts >= guarantee
+
+    def lag_ms(self, now_ts: int) -> float:
+        """Physical staleness of the watermark relative to ``now_ts``."""
+        now = Timestamp.unpack(now_ts)
+        seen = Timestamp.unpack(self.seen_ts)
+        return max(0.0, float(now.physical_ms - seen.physical_ms))

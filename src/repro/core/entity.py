@@ -1,0 +1,147 @@
+"""Entity-batch validation and normalization.
+
+The proxy validates user insert payloads against the collection schema
+before anything reaches the log: vector dimensions, scalar types, column
+alignment, primary-key presence (or auto-id generation), and duplicate keys
+within a batch.  The result is a normalized ``EntityBatch`` whose columns
+are numpy arrays / lists aligned with its primary keys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.schema import CollectionSchema, DataType
+from repro.errors import SchemaError
+
+_auto_id_counter = itertools.count(1)
+
+
+def reset_auto_id_counter() -> None:
+    """Reset the process-wide auto-id sequence (test isolation only)."""
+    global _auto_id_counter
+    _auto_id_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class EntityBatch:
+    """A validated batch: primary keys plus aligned columns."""
+
+    pks: tuple
+    columns: Mapping[str, Any]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.pks)
+
+
+def _coerce_scalar_column(name: str, dtype: DataType,
+                          values: Sequence) -> Any:
+    if dtype is DataType.INT64:
+        arr = np.asarray(values)
+        if arr.dtype.kind not in "iu":
+            if arr.dtype.kind == "f" and np.allclose(arr, arr.astype(np.int64)):
+                arr = arr.astype(np.int64)
+            else:
+                raise SchemaError(
+                    f"field {name!r}: expected integers, got {arr.dtype}")
+        return arr.astype(np.int64)
+    if dtype is DataType.FLOAT:
+        arr = np.asarray(values, dtype=np.float64)
+        return arr
+    if dtype is DataType.BOOL:
+        arr = np.asarray(values)
+        if arr.dtype != np.bool_:
+            raise SchemaError(
+                f"field {name!r}: expected booleans, got {arr.dtype}")
+        return arr
+    if dtype is DataType.STRING:
+        out = []
+        for value in values:
+            if not isinstance(value, str):
+                raise SchemaError(
+                    f"field {name!r}: expected strings, got "
+                    f"{type(value).__name__}")
+            out.append(value)
+        return out
+    raise SchemaError(f"field {name!r}: unsupported dtype {dtype}")
+
+
+def _coerce_vector_column(name: str, dim: int, values: Any) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float32)
+    if arr.ndim != 2:
+        raise SchemaError(
+            f"vector field {name!r}: expected a 2-D array, got "
+            f"shape {arr.shape}")
+    if arr.shape[1] != dim:
+        raise SchemaError(
+            f"vector field {name!r}: expected dim {dim}, got {arr.shape[1]}")
+    if not np.isfinite(arr).all():
+        raise SchemaError(f"vector field {name!r}: non-finite values")
+    return arr
+
+
+def validate_batch(schema: CollectionSchema,
+                   data: Mapping[str, Any]) -> EntityBatch:
+    """Validate a field-name -> values mapping against ``schema``.
+
+    Auto-id schemas must not provide a primary key column (one is
+    generated); explicit-key schemas must.  All columns must have equal row
+    counts and no unknown fields are accepted.
+    """
+    data = dict(data)
+    primary = schema.primary_field
+
+    expected = {f.name for f in schema.fields}
+    if schema.auto_id:
+        if primary.name in data:
+            raise SchemaError(
+                "collection uses auto-generated ids; do not supply "
+                f"{primary.name!r}")
+        expected.discard(primary.name)
+    unknown = set(data) - expected
+    if unknown:
+        raise SchemaError(f"unknown fields in insert: {sorted(unknown)}")
+    missing = expected - set(data)
+    if missing:
+        raise SchemaError(f"missing fields in insert: {sorted(missing)}")
+
+    lengths = {name: len(np.asarray(values)) if not isinstance(values, list)
+               else len(values) for name, values in data.items()}
+    counts = set(lengths.values())
+    if len(counts) > 1:
+        raise SchemaError(f"ragged insert batch: {lengths}")
+    num_rows = counts.pop() if counts else 0
+    if num_rows == 0:
+        raise SchemaError("empty insert batch")
+
+    columns: dict[str, Any] = {}
+    for field in schema.fields:
+        if field.name == primary.name:
+            continue
+        values = data[field.name]
+        if field.dtype.is_vector:
+            columns[field.name] = _coerce_vector_column(
+                field.name, field.dim, values)
+        else:
+            columns[field.name] = _coerce_scalar_column(
+                field.name, field.dtype, values)
+
+    if schema.auto_id:
+        pks = tuple(next(_auto_id_counter) for _ in range(num_rows))
+    else:
+        raw = data[primary.name]
+        if primary.dtype is DataType.INT64:
+            pk_arr = _coerce_scalar_column(primary.name, primary.dtype, raw)
+            pks = tuple(int(v) for v in pk_arr)
+        else:
+            pks = tuple(_coerce_scalar_column(primary.name, primary.dtype,
+                                              raw))
+        if len(set(pks)) != len(pks):
+            raise SchemaError("duplicate primary keys within a batch")
+
+    return EntityBatch(pks=pks, columns=columns)

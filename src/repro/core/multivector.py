@@ -1,0 +1,107 @@
+"""Multi-vector search (Section 3.6).
+
+An entity may be encoded by several vectors (e.g. an image embedding and a
+text embedding); entity similarity is a composition of per-field
+similarities.  Manu supports two strategies and picks one from the entity
+similarity function:
+
+* ``DECOMPOSED`` — when the composition is a *weighted sum of inner
+  products*, the score decomposes exactly: scale each query sub-vector by
+  its weight and sum per-field searches' contributions; implemented here by
+  scoring each field with its own search and merging exact combined scores
+  over the candidate union (exact because IP is linear in the query).
+* ``RERANK`` (vector fusion fallback) — for non-decomposable compositions
+  (e.g. weighted L2), search each field for an amplified candidate set,
+  fetch the candidates' vectors for all fields, compute the true combined
+  score, and rerank.
+
+Both run over segments; amplification is the usual recall/cost knob.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.core.schema import MetricType
+from repro.core.segment import Segment
+from repro.index.base import SearchStats
+from repro.index.distances import adjusted_distances
+
+
+class MultiVectorStrategy(enum.Enum):
+    DECOMPOSED = "decomposed"
+    RERANK = "rerank"
+
+
+@dataclass(frozen=True)
+class MultiVectorQuery:
+    """Queries and weights per vector field, plus the per-field metric."""
+
+    fields: tuple[str, ...]
+    queries: Mapping[str, np.ndarray]  # field -> (dim,) query vector
+    weights: Mapping[str, float]
+    metric: MetricType
+
+    def __post_init__(self) -> None:
+        missing = [f for f in self.fields
+                   if f not in self.queries or f not in self.weights]
+        if missing:
+            raise ValueError(f"missing query/weight for fields {missing}")
+        if any(self.weights[f] < 0 for f in self.fields):
+            raise ValueError("weights must be non-negative")
+
+
+def choose_strategy(query: MultiVectorQuery) -> MultiVectorStrategy:
+    """Inner-product compositions decompose exactly; others rerank."""
+    if query.metric is MetricType.INNER_PRODUCT:
+        return MultiVectorStrategy.DECOMPOSED
+    return MultiVectorStrategy.RERANK
+
+
+def search_segment(segment: Segment, query: MultiVectorQuery, k: int,
+                   amplification: int = 4,
+                   stats: Optional[SearchStats] = None,
+                   forced: Optional[MultiVectorStrategy] = None,
+                   ) -> tuple[list, np.ndarray]:
+    """Top-k entities of one segment under the combined similarity.
+
+    Returns (pks, combined adjusted distances) sorted ascending.
+    """
+    stats = stats if stats is not None else SearchStats()
+    strategy = forced if forced is not None else choose_strategy(query)
+    k_amp = max(k * amplification, k)
+
+    # Gather a candidate pool from per-field searches.
+    pool: set = set()
+    for field in query.fields:
+        q = np.asarray(query.queries[field], dtype=np.float32)
+        results = segment.search(field, q[None, :], k_amp, query.metric,
+                                 stats=stats)
+        pool.update(results[0][0])
+    if not pool:
+        return [], np.empty(0, dtype=np.float32)
+    pks = sorted(pool, key=str)
+
+    # Exact combined rescoring of the pool (both strategies end here; for
+    # DECOMPOSED the per-field scores are exact contributions, for RERANK
+    # this is the rerank step).
+    del strategy  # the scoring below is exact for both strategies
+    rows = [row for row in (segment._pk_rows.get(pk) for pk in pks)]
+    combined = np.zeros(len(pks), dtype=np.float64)
+    for field in query.fields:
+        weight = float(query.weights[field])
+        if weight == 0.0:
+            continue
+        data = segment.column(field)[rows]
+        q = np.asarray(query.queries[field], dtype=np.float32)
+        dists = adjusted_distances(q, data, query.metric)[0]
+        stats.float_comparisons += len(pks)
+        combined += weight * dists.astype(np.float64)
+
+    order = np.argsort(combined, kind="stable")[:k]
+    return ([pks[i] for i in order],
+            combined[order].astype(np.float32))

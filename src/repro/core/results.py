@@ -1,0 +1,94 @@
+"""Search results and the two-phase top-k reduce (Section 3.6).
+
+Query nodes produce *segment-wise* top-k lists, merge them into *node-wise*
+lists, and the proxy merges node lists into the global answer.  All three
+steps are the same operation — :func:`merge_topk` — which also removes
+duplicate primary keys, because "a segment can reside on more than one
+query node ... the proxies remove duplicate result vectors for a query".
+
+Hits carry *adjusted distances* (smaller = more similar) internally and
+expose the user-facing score through :meth:`SearchHit.score_for`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.schema import MetricType
+from repro.index.distances import to_user_score
+
+
+@dataclass(frozen=True, order=True)
+class SearchHit:
+    """One result entity: adjusted distance first so hits sort naturally."""
+
+    adjusted_distance: float
+    pk: object = field(compare=False)
+
+    def score_for(self, metric: MetricType) -> float:
+        """User-facing score (L2 distance or similarity) for this hit."""
+        return float(to_user_score(self.adjusted_distance, metric))
+
+
+@dataclass
+class SearchResult:
+    """Top-k hits for one query plus execution metadata."""
+
+    hits: list[SearchHit]
+    metric: MetricType
+    latency_ms: float = 0.0
+    consistency_wait_ms: float = 0.0
+    segments_searched: int = 0
+
+    @property
+    def pks(self) -> list:
+        return [hit.pk for hit in self.hits]
+
+    @property
+    def scores(self) -> list[float]:
+        return [hit.score_for(self.metric) for hit in self.hits]
+
+    @property
+    def distances(self) -> list[float]:
+        """Adjusted distances (internal convention)."""
+        return [hit.adjusted_distance for hit in self.hits]
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def __iter__(self):
+        return iter(self.hits)
+
+
+def merge_topk(partials: Sequence[Iterable[SearchHit]],
+               k: int) -> list[SearchHit]:
+    """Merge sorted partial hit lists into a deduplicated global top-k.
+
+    Each partial list must be sorted by adjusted distance ascending (the
+    contract of segment/node searches).  When the same primary key appears
+    in several lists (hot replicas, segment copies during redistribution),
+    only its best hit survives.
+    """
+    if k <= 0:
+        return []
+    merged = heapq.merge(*partials)
+    out: list[SearchHit] = []
+    seen: set = set()
+    for hit in merged:
+        if hit.pk in seen:
+            continue
+        seen.add(hit.pk)
+        out.append(hit)
+        if len(out) >= k:
+            break
+    return out
+
+
+def hits_from_arrays(pks: Sequence, adjusted: Sequence[float]
+                     ) -> list[SearchHit]:
+    """Build a sorted hit list from parallel pk / distance arrays."""
+    hits = [SearchHit(float(d), pk) for pk, d in zip(pks, adjusted)]
+    hits.sort()
+    return hits

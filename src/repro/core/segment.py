@@ -1,0 +1,499 @@
+"""Segments: Manu's unit of data placement (Sections 3.1, 3.6).
+
+A segment is a run of entities from one shard.  It starts *growing* —
+accepting appends, organized into fixed-size **slices**; when a slice fills
+up, a light-weight temporary index (IVF-Flat) is built over it so searches
+on growing data avoid brute-force scans ("the temporary index brings up to
+10X speedup for searching growing segments").  A segment *seals* when it
+reaches the configured size or stays idle too long; sealed segments are
+immutable, get a full index built by an index node, and are the unit of
+distribution across query nodes.
+
+Deletions are recorded in a **bitmap** and filtered from search results;
+the segment tracks its WAL progress (max LSN applied) both for delta
+consistency and as the replay start position for time travel.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SegmentConfig
+from repro.core.schema import CollectionSchema, MetricType
+from repro.errors import ClusterStateError
+from repro.index.base import SearchStats, VectorIndex
+from repro.index.distances import adjusted_distances, topk_smallest
+from repro.index.ivf import IvfFlatIndex
+
+
+class SegmentState(enum.Enum):
+    GROWING = "growing"
+    SEALED = "sealed"
+
+
+class Segment:
+    """One segment's rows, slices, deletion bitmap, and indexes."""
+
+    def __init__(self, segment_id: str, collection: str,
+                 schema: CollectionSchema,
+                 config: Optional[SegmentConfig] = None) -> None:
+        self.segment_id = segment_id
+        self.collection = collection
+        self.schema = schema
+        self.config = config if config is not None else SegmentConfig()
+        self.state = SegmentState.GROWING
+
+        self._pks: list = []
+        self._pk_rows: dict = {}
+        self._chunks: dict[str, list] = {f.name: [] for f in schema.fields
+                                         if not f.is_primary}
+        self._consolidated: dict[str, object] = {}
+        self._deleted = np.zeros(0, dtype=bool)
+        # Temporary slice indexes: field -> {(slice_no, metric): index}.
+        # Indexes are metric-specific (the adjusted-distance scales of
+        # different metrics are not comparable); Euclidean ones are built
+        # eagerly when a slice fills, others lazily at first search.
+        self._temp_indexes: dict[
+            str, dict[tuple[int, MetricType], IvfFlatIndex]] = {
+            f.name: {} for f in schema.vector_fields}
+        # Full sealed index per vector field (attached by query nodes).
+        self._sealed_indexes: dict[str, VectorIndex] = {}
+        # Attribute indexes (Table 1: sorted list / label inverted index)
+        # built lazily on sealed segments to accelerate filtering.
+        self._attr_indexes: dict[str, object] = {}
+        self.max_lsn = 0
+        self.last_insert_at_ms = 0.0
+        self.temp_index_enabled = True
+
+    # ------------------------------------------------------------------
+    # state & size
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._pks)
+
+    @property
+    def num_deleted(self) -> int:
+        return int(self._deleted.sum())
+
+    @property
+    def num_live_rows(self) -> int:
+        return self.num_rows - self.num_deleted
+
+    @property
+    def is_sealed(self) -> bool:
+        return self.state is SegmentState.SEALED
+
+    @property
+    def pks(self) -> list:
+        return list(self._pks)
+
+    def seal(self) -> None:
+        """Freeze the segment; further appends are rejected."""
+        self.state = SegmentState.SEALED
+
+    def should_seal(self, now_ms: float) -> bool:
+        """Size or idle-time sealing policy (Section 3.1)."""
+        if self.is_sealed or self.num_rows == 0:
+            return False
+        if self.num_rows >= self.config.seal_entity_count:
+            return True
+        return (now_ms - self.last_insert_at_ms) >= self.config.seal_idle_ms
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def append(self, pks: Sequence, columns: Mapping[str, object],
+               lsn: int, now_ms: float = 0.0) -> None:
+        """Append a batch of rows (growing segments only)."""
+        if self.is_sealed:
+            raise ClusterStateError(
+                f"segment {self.segment_id} is sealed; cannot append")
+        start = self.num_rows
+        for offset, pk in enumerate(pks):
+            self._pk_rows[pk] = start + offset
+        self._pks.extend(pks)
+        for name, chunk in columns.items():
+            self._chunks[name].append(chunk)
+        self._consolidated.clear()
+        self._deleted = np.concatenate(
+            [self._deleted, np.zeros(len(pks), dtype=bool)])
+        self.max_lsn = max(self.max_lsn, lsn)
+        self.last_insert_at_ms = now_ms
+        if self.temp_index_enabled:
+            self._refresh_temp_indexes(start)
+
+    def apply_delete(self, pks: Sequence, lsn: int) -> int:
+        """Mark rows deleted in the bitmap; returns how many matched."""
+        count = 0
+        for pk in pks:
+            row = self._pk_rows.get(pk)
+            if row is not None and not self._deleted[row]:
+                self._deleted[row] = True
+                count += 1
+        self.max_lsn = max(self.max_lsn, lsn)
+        return count
+
+    def contains_pk(self, pk) -> bool:
+        """Whether the segment holds a live row for ``pk``."""
+        row = self._pk_rows.get(pk)
+        return row is not None and not self._deleted[row]
+
+    @property
+    def delete_ratio(self) -> float:
+        """Fraction of rows deleted — triggers index rebuild/compaction."""
+        return self.num_deleted / self.num_rows if self.num_rows else 0.0
+
+    # ------------------------------------------------------------------
+    # columns
+    # ------------------------------------------------------------------
+
+    def column(self, name: str):
+        """Consolidated column values (numpy array, or list for strings)."""
+        if name in self._consolidated:
+            return self._consolidated[name]
+        field = self.schema.field(name)
+        chunks = self._chunks[name]
+        if field.dtype.is_vector:
+            if chunks:
+                value = np.concatenate(
+                    [np.asarray(c, dtype=np.float32) for c in chunks], axis=0)
+            else:
+                value = np.empty((0, field.dim), dtype=np.float32)
+        elif field.dtype.value == "string":
+            value = [item for chunk in chunks for item in chunk]
+        else:
+            if chunks:
+                value = np.concatenate([np.asarray(c) for c in chunks])
+            else:
+                value = np.empty(0)
+        self._consolidated[name] = value
+        return value
+
+    def scalar_columns(self) -> dict[str, object]:
+        """All filterable columns, for expression evaluation."""
+        return {f.name: self.column(f.name) for f in self.schema.scalar_fields}
+
+    def flush_payload(self) -> tuple[list, dict[str, object], int]:
+        """(pks, columns, max_lsn) for binlog conversion by a data node."""
+        columns = {name: self.column(name) for name in self._chunks}
+        return list(self._pks), columns, self.max_lsn
+
+    def deleted_mask(self) -> np.ndarray:
+        return self._deleted.copy()
+
+    # ------------------------------------------------------------------
+    # temporary slice indexes
+    # ------------------------------------------------------------------
+
+    def _build_temp_index(self, field: str, slice_no: int,
+                          metric: MetricType) -> IvfFlatIndex:
+        size = self.config.slice_size
+        rows = slice(slice_no * size, (slice_no + 1) * size)
+        data = self.column(field)[rows]
+        index = IvfFlatIndex(metric, self.schema.field(field).dim,
+                             nlist=self.config.temp_index_nlist,
+                             nprobe=max(2,
+                                        self.config.temp_index_nlist // 8))
+        index.build(data)
+        self._temp_indexes[field][(slice_no, metric)] = index
+        return index
+
+    def _refresh_temp_indexes(self, appended_from: int) -> None:
+        """Build temp indexes for slices completed by the latest append."""
+        del appended_from  # slices are recomputed from totals
+        full_slices = self.num_rows // self.config.slice_size
+        for field in self.schema.vector_fields:
+            built = self._temp_indexes[field.name]
+            for slice_no in range(full_slices):
+                if (slice_no, MetricType.EUCLIDEAN) not in built:
+                    self._build_temp_index(field.name, slice_no,
+                                           MetricType.EUCLIDEAN)
+
+    def _temp_index_for(self, field: str, slice_no: int,
+                        metric: MetricType) -> Optional[IvfFlatIndex]:
+        """The slice's temp index for ``metric`` (built lazily)."""
+        built = self._temp_indexes.get(field)
+        if built is None or not self.temp_index_enabled:
+            return None
+        index = built.get((slice_no, metric))
+        if index is None and any(s == slice_no for s, _ in built):
+            # The slice is complete (another metric's index exists) but
+            # this metric's is not built yet: build it on demand.
+            index = self._build_temp_index(field, slice_no, metric)
+        return index
+
+    def num_temp_indexes(self, field: str) -> int:
+        """Number of slices with at least one temporary index."""
+        return len({s for s, _ in self._temp_indexes.get(field, {})})
+
+    # ------------------------------------------------------------------
+    # sealed index management
+    # ------------------------------------------------------------------
+
+    def attach_index(self, field: str, index: VectorIndex) -> None:
+        """Install the index-node-built index, replacing temp indexes."""
+        if index.ntotal != self.num_rows:
+            raise ClusterStateError(
+                f"index covers {index.ntotal} rows, segment has "
+                f"{self.num_rows}")
+        self._sealed_indexes[field] = index
+        self._temp_indexes[field] = {}
+
+    def has_index(self, field: str) -> bool:
+        return field in self._sealed_indexes
+
+    def index_for(self, field: str) -> Optional[VectorIndex]:
+        return self._sealed_indexes.get(field)
+
+    # ------------------------------------------------------------------
+    # attribute indexes (Table 1: Sorted List / label inverted index)
+    # ------------------------------------------------------------------
+
+    def attr_index(self, field: str):
+        """The attribute index for a scalar field (sealed segments only).
+
+        Numeric fields get a :class:`~repro.index.attr.SortedListIndex`,
+        string fields a :class:`~repro.index.attr.LabelIndex`; built
+        lazily on first use (sealed data is immutable, so the index never
+        goes stale).  Returns None for growing segments or bool fields.
+        """
+        if not self.is_sealed:
+            return None
+        if field in self._attr_indexes:
+            return self._attr_indexes[field]
+        spec = self.schema.field(field)
+        if spec.dtype.is_vector or spec.is_primary:
+            return None
+        from repro.index.attr import LabelIndex, SortedListIndex
+        if spec.dtype.is_numeric:
+            index = SortedListIndex(self.column(field))
+        elif spec.dtype.value == "string":
+            index = LabelIndex(self.column(field))
+        else:
+            return None
+        self._attr_indexes[field] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def _allowed_mask(self, filter_mask: Optional[np.ndarray]) -> np.ndarray:
+        allowed = ~self._deleted
+        if filter_mask is not None:
+            if len(filter_mask) != self.num_rows:
+                raise ValueError(
+                    f"filter mask has {len(filter_mask)} rows, "
+                    f"segment has {self.num_rows}")
+            allowed = allowed & filter_mask
+        return allowed
+
+    def search(self, field: str, queries: np.ndarray, k: int,
+               metric: MetricType,
+               filter_mask: Optional[np.ndarray] = None,
+               stats: Optional[SearchStats] = None,
+               force_brute: bool = False,
+               ) -> list[tuple[list, np.ndarray]]:
+        """Top-k over live, filter-passing rows; one (pks, dists) per query.
+
+        Uses the sealed index when attached, temporary slice indexes plus a
+        brute tail scan while growing, and pure brute force when
+        ``force_brute`` (the pre-filter strategy or a no-index segment).
+        Indexed paths amplify k and post-filter; if filtering starves the
+        result below ``k``, the search transparently escalates to an exact
+        scan of allowed rows, so results are always correct.
+        """
+        stats = stats if stats is not None else SearchStats()
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        allowed = self._allowed_mask(filter_mask)
+        n_allowed = int(allowed.sum())
+        if n_allowed == 0 or self.num_rows == 0:
+            return [([], np.empty(0, dtype=np.float32))
+                    for _ in range(queries.shape[0])]
+
+        if force_brute:
+            return self._search_brute(field, queries, k, metric, allowed,
+                                      stats)
+
+        sealed_index = self._sealed_indexes.get(field)
+        if sealed_index is not None:
+            return self._search_with_index(sealed_index, 0, queries, k,
+                                           metric, allowed, stats, field)
+        return self._search_growing(field, queries, k, metric, allowed,
+                                    stats)
+
+    def _search_brute(self, field: str, queries: np.ndarray, k: int,
+                      metric: MetricType, allowed: np.ndarray,
+                      stats: SearchStats
+                      ) -> list[tuple[list, np.ndarray]]:
+        rows = np.flatnonzero(allowed)
+        data = self.column(field)[rows]
+        dists = adjusted_distances(queries, data, metric)
+        stats.float_comparisons += queries.shape[0] * len(rows)
+        out: list[tuple[list, np.ndarray]] = []
+        for qi in range(queries.shape[0]):
+            idx, vals = topk_smallest(dists[qi], k)
+            out.append(([self._pks[rows[i]] for i in idx], vals))
+        return out
+
+    def _search_with_index(self, index: VectorIndex, row_offset: int,
+                           queries: np.ndarray, k: int, metric: MetricType,
+                           allowed: np.ndarray, stats: SearchStats,
+                           field: str) -> list[tuple[list, np.ndarray]]:
+        """Post-filter strategy over one index; escalates when starved."""
+        covered = index.ntotal
+        n_excluded = covered - int(
+            allowed[row_offset:row_offset + covered].sum())
+        k_amplified = min(covered, k + n_excluded if n_excluded <= k
+                          else min(covered, 2 * k + n_excluded // 4))
+        ids, dists = index.search(queries, k_amplified)
+        _merge_stats(stats, index.stats)
+        out: list[tuple[list, np.ndarray]] = []
+        for qi in range(queries.shape[0]):
+            pks: list = []
+            kept: list[float] = []
+            for local, dist in zip(ids[qi], dists[qi]):
+                if local < 0:
+                    break
+                row = row_offset + int(local)
+                if allowed[row]:
+                    pks.append(self._pks[row])
+                    kept.append(float(dist))
+                if len(pks) >= k:
+                    break
+            if n_excluded > 0 and len(pks) < k and k_amplified < covered:
+                # Starved by filtering: fall back to exact scan (correct).
+                # Without exclusions, returning fewer than k hits is the
+                # index's normal ANN behaviour and needs no escalation.
+                sub_allowed = np.zeros_like(allowed)
+                sub_allowed[row_offset:row_offset + covered] = (
+                    allowed[row_offset:row_offset + covered])
+                exact = self._search_brute(field, queries[qi:qi + 1], k,
+                                           metric, sub_allowed, stats)
+                out.append(exact[0])
+            else:
+                out.append((pks, np.asarray(kept, dtype=np.float32)))
+        return out
+
+    def _search_growing(self, field: str, queries: np.ndarray, k: int,
+                        metric: MetricType, allowed: np.ndarray,
+                        stats: SearchStats
+                        ) -> list[tuple[list, np.ndarray]]:
+        """Temp slice indexes plus exact scan of the partial tail slice."""
+        size = self.config.slice_size
+        slices = sorted({s for s, _ in self._temp_indexes.get(field, {})})
+        per_query: list[list[tuple[list, np.ndarray]]] = [
+            [] for _ in range(queries.shape[0])]
+
+        uncovered_from = 0
+        for slice_no in slices:
+            index = self._temp_index_for(field, slice_no, metric)
+            if index is None:
+                continue
+            offset = slice_no * size
+            results = self._search_with_index(index, offset, queries, k,
+                                              metric, allowed, stats, field)
+            for qi, item in enumerate(results):
+                per_query[qi].append(item)
+            uncovered_from = max(uncovered_from, offset + index.ntotal)
+
+        if uncovered_from < self.num_rows:
+            tail_allowed = np.zeros_like(allowed)
+            tail_allowed[uncovered_from:] = allowed[uncovered_from:]
+            if tail_allowed.any():
+                results = self._search_brute(field, queries, k, metric,
+                                             tail_allowed, stats)
+                for qi, item in enumerate(results):
+                    per_query[qi].append(item)
+
+        out: list[tuple[list, np.ndarray]] = []
+        for qi in range(queries.shape[0]):
+            pk_parts: list = []
+            dist_parts: list[np.ndarray] = []
+            for pks, dists in per_query[qi]:
+                pk_parts.extend(pks)
+                dist_parts.append(np.asarray(dists, dtype=np.float32))
+            if not pk_parts:
+                out.append(([], np.empty(0, dtype=np.float32)))
+                continue
+            dists = np.concatenate(dist_parts)
+            idx, vals = topk_smallest(dists, k)
+            out.append(([pk_parts[i] for i in idx], vals))
+        return out
+
+    def range_search(self, field: str, query: np.ndarray,
+                     threshold: float, metric: MetricType,
+                     filter_mask: Optional[np.ndarray] = None,
+                     stats: Optional[SearchStats] = None,
+                     ) -> tuple[list, np.ndarray]:
+        """All live rows with adjusted distance <= ``threshold`` (exact).
+
+        Range semantics need every qualifying row, so the scan is always
+        exact over the allowed rows; returns (pks, adjusted distances)
+        sorted ascending.
+        """
+        stats = stats if stats is not None else SearchStats()
+        allowed = self._allowed_mask(filter_mask)
+        rows = np.flatnonzero(allowed)
+        if not len(rows):
+            return [], np.empty(0, dtype=np.float32)
+        query = np.asarray(query, dtype=np.float32).reshape(1, -1)
+        dists = adjusted_distances(query, self.column(field)[rows],
+                                   metric)[0]
+        stats.float_comparisons += len(rows)
+        hit = np.flatnonzero(dists <= threshold)
+        order = hit[np.argsort(dists[hit], kind="stable")]
+        return ([self._pks[rows[i]] for i in order],
+                dists[order].astype(np.float32))
+
+    def fetch_rows(self, pks: Sequence) -> dict:
+        """Field values of the given live primary keys.
+
+        Returns pk -> {field: value} for the pks present (and not
+        deleted) in this segment; absent pks are simply omitted.
+        """
+        out: dict = {}
+        fields = [f for f in self.schema.fields if not f.is_primary]
+        columns = {f.name: self.column(f.name) for f in fields}
+        for pk in pks:
+            row = self._pk_rows.get(pk)
+            if row is None or self._deleted[row]:
+                continue
+            values = {}
+            for field in fields:
+                column = columns[field.name]
+                if isinstance(column, np.ndarray):
+                    values[field.name] = column[row].copy() \
+                        if column.ndim == 2 else column[row]
+                else:
+                    values[field.name] = column[row]
+            out[pk] = values
+        return out
+
+    def memory_bytes(self) -> int:
+        """Rough resident size (placement/balancing input)."""
+        total = 0
+        for field in self.schema.fields:
+            if field.is_primary:
+                continue
+            value = self.column(field.name)
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+            else:
+                total += sum(len(s) for s in value)
+        return total
+
+
+def _merge_stats(into: SearchStats, other: SearchStats) -> None:
+    into.float_comparisons += other.float_comparisons
+    into.quantized_comparisons += other.quantized_comparisons
+    into.ssd_blocks_read += other.ssd_blocks_read
+    into.graph_hops += other.graph_hops

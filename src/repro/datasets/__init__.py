@@ -1,0 +1,17 @@
+"""Dataset generators standing in for SIFT and DEEP (Section 5.2)."""
+
+from repro.datasets.synthetic import (
+    Dataset,
+    make_sift_like,
+    make_deep_like,
+    ground_truth,
+    recall_at_k,
+)
+
+__all__ = [
+    "Dataset",
+    "make_sift_like",
+    "make_deep_like",
+    "ground_truth",
+    "recall_at_k",
+]

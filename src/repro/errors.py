@@ -1,0 +1,77 @@
+"""Exception hierarchy for the Manu reproduction.
+
+Every error raised by the public API derives from :class:`ManuError` so that
+applications can catch a single base class.  The subclasses mirror the error
+categories of the paper's system: schema/DDL validation, data manipulation,
+index management, consistency waits, storage, and cluster membership.
+"""
+
+from __future__ import annotations
+
+
+class ManuError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ManuError):
+    """A collection schema or entity batch failed validation."""
+
+
+class CollectionNotFound(ManuError):
+    """The referenced collection does not exist."""
+
+
+class CollectionAlreadyExists(ManuError):
+    """A collection with this name already exists."""
+
+
+class FieldNotFound(ManuError):
+    """The referenced field does not exist in the collection schema."""
+
+
+class IndexError_(ManuError):
+    """Index construction or lookup failed.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``; exported as ``IndexBuildError`` from the package root.
+    """
+
+
+class ExpressionError(ManuError):
+    """A boolean filter expression failed to parse or evaluate."""
+
+
+class ConsistencyTimeout(ManuError):
+    """A query's delta-consistency wait exceeded the configured deadline."""
+
+
+class StorageError(ManuError):
+    """An object-store or metastore operation failed."""
+
+
+class ObjectNotFound(StorageError):
+    """The requested object-store key does not exist."""
+
+
+class RevisionConflict(StorageError):
+    """A metastore compare-and-swap lost the race (stale revision)."""
+
+
+class ChannelNotFound(ManuError):
+    """The referenced log channel does not exist."""
+
+
+class NodeNotFound(ManuError):
+    """The referenced worker node is not registered with its coordinator."""
+
+
+class ClusterStateError(ManuError):
+    """An operation is invalid in the cluster's current state."""
+
+
+class TimeTravelError(ManuError):
+    """Database restore to the requested timestamp is impossible."""
+
+
+# Friendlier public alias.
+IndexBuildError = IndexError_

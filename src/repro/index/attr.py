@@ -1,0 +1,226 @@
+"""Numerical-attribute indexes (Table 1: B-Tree, Sorted List).
+
+Attribute filtering (Section 3.6) needs fast selection of the row ids whose
+scalar value satisfies a range predicate.  Two structures from the paper:
+
+* :class:`SortedListIndex` — values sorted once with their row ids; range
+  queries are two bisections (ideal for sealed, immutable segments);
+* :class:`BTreeIndex` — a real B-tree supporting incremental inserts (for
+  growing segments) with the same range API;
+* :class:`LabelIndex` — an inverted map from label value to a row bitmap,
+  covering equality/membership predicates on string labels.
+
+All return sorted numpy arrays of row ids.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class SortedListIndex:
+    """Immutable sorted (value, row-id) list with bisection range queries."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        arr = np.asarray(list(values), dtype=np.float64)
+        order = np.argsort(arr, kind="stable")
+        self._values = arr[order]
+        self._ids = order.astype(np.int64)
+        self.n = len(arr)
+
+    def range(self, low: Optional[float] = None, high: Optional[float] = None,
+              include_low: bool = True,
+              include_high: bool = True) -> np.ndarray:
+        """Row ids with value in the given (optionally open) interval."""
+        lo_idx = 0
+        hi_idx = self.n
+        if low is not None:
+            side = "left" if include_low else "right"
+            lo_idx = int(np.searchsorted(self._values, low, side=side))
+        if high is not None:
+            side = "right" if include_high else "left"
+            hi_idx = int(np.searchsorted(self._values, high, side=side))
+        return np.sort(self._ids[lo_idx:hi_idx])
+
+    def equal(self, value: float) -> np.ndarray:
+        """Row ids with exactly this value."""
+        return self.range(value, value)
+
+    def min_value(self) -> float:
+        return float(self._values[0])
+
+    def max_value(self) -> float:
+        return float(self._values[-1])
+
+    def selectivity(self, low: Optional[float],
+                    high: Optional[float]) -> float:
+        """Fraction of rows passing the range (cost-model input)."""
+        if self.n == 0:
+            return 0.0
+        return len(self.range(low, high)) / self.n
+
+
+class _BTreeNode:
+    __slots__ = ("keys", "values", "children", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.keys: list[float] = []
+        self.values: list[list[int]] = []  # row ids per key (leaf only)
+        self.children: list["_BTreeNode"] = []
+        self.is_leaf = is_leaf
+
+
+class BTreeIndex:
+    """A B-tree of order ``order`` mapping values to row-id lists.
+
+    Classic insertion with pre-emptive splits; duplicate values accumulate
+    row ids on one key.  Range queries walk the tree in order.
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 4:
+            raise ValueError(f"order must be >= 4, got {order}")
+        self.order = order
+        self._root = _BTreeNode(is_leaf=True)
+        self.n = 0
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, value: float, row_id: int) -> None:
+        """Add one (value, row id) pair."""
+        value = float(value)
+        root = self._root
+        if len(root.keys) >= self.order - 1:
+            new_root = _BTreeNode(is_leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, value, row_id)
+        self.n += 1
+
+    def insert_many(self, values: Iterable[float],
+                    row_ids: Iterable[int]) -> None:
+        for value, row_id in zip(values, row_ids):
+            self.insert(value, int(row_id))
+
+    def _split_child(self, parent: _BTreeNode, index: int) -> None:
+        child = parent.children[index]
+        mid = len(child.keys) // 2
+        sibling = _BTreeNode(is_leaf=child.is_leaf)
+        if child.is_leaf:
+            # Leaf split keeps the median in the right sibling (B+-style).
+            sibling.keys = child.keys[mid:]
+            sibling.values = child.values[mid:]
+            child.keys = child.keys[:mid]
+            child.values = child.values[:mid]
+            up_key = sibling.keys[0]
+        else:
+            up_key = child.keys[mid]
+            sibling.keys = child.keys[mid + 1:]
+            sibling.children = child.children[mid + 1:]
+            child.keys = child.keys[:mid]
+            child.children = child.children[:mid + 1]
+        parent.keys.insert(index, up_key)
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: _BTreeNode, value: float,
+                        row_id: int) -> None:
+        while not node.is_leaf:
+            idx = bisect_right(node.keys, value)
+            child = node.children[idx]
+            if len(child.keys) >= self.order - 1:
+                self._split_child(node, idx)
+                if value >= node.keys[idx]:
+                    idx += 1
+                child = node.children[idx]
+            node = child
+        idx = bisect_left(node.keys, value)
+        if idx < len(node.keys) and node.keys[idx] == value:
+            node.values[idx].append(row_id)
+        else:
+            node.keys.insert(idx, value)
+            node.values.insert(idx, [row_id])
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def range(self, low: Optional[float] = None, high: Optional[float] = None,
+              include_low: bool = True,
+              include_high: bool = True) -> np.ndarray:
+        """Row ids with value in the interval, sorted."""
+        out: list[int] = []
+
+        def visit(node: _BTreeNode) -> None:
+            if node.is_leaf:
+                for key, ids in zip(node.keys, node.values):
+                    if low is not None and (key < low
+                                            or (key == low
+                                                and not include_low)):
+                        continue
+                    if high is not None and (key > high
+                                             or (key == high
+                                                 and not include_high)):
+                        continue
+                    out.extend(ids)
+                return
+            for idx, key in enumerate(node.keys):
+                if low is None or key >= low:
+                    visit(node.children[idx])
+                if high is not None and key > high:
+                    return
+            visit(node.children[-1])
+
+        visit(self._root)
+        return np.sort(np.asarray(out, dtype=np.int64))
+
+    def equal(self, value: float) -> np.ndarray:
+        return self.range(value, value)
+
+    def depth(self) -> int:
+        """Tree height (balance diagnostics)."""
+        node = self._root
+        depth = 1
+        while not node.is_leaf:
+            node = node.children[0]
+            depth += 1
+        return depth
+
+
+class LabelIndex:
+    """Inverted label -> row-id index for string attributes."""
+
+    def __init__(self, labels: Iterable[str] = ()) -> None:
+        self._rows: dict[str, list[int]] = {}
+        self.n = 0
+        for label in labels:
+            self.add(label)
+
+    def add(self, label: str) -> None:
+        """Append the next row's label."""
+        self._rows.setdefault(label, []).append(self.n)
+        self.n += 1
+
+    def equal(self, label: str) -> np.ndarray:
+        """Rows with exactly this label."""
+        return np.asarray(self._rows.get(label, ()), dtype=np.int64)
+
+    def isin(self, labels: Iterable[str]) -> np.ndarray:
+        """Rows whose label is in the given set, sorted."""
+        parts = [self.equal(label) for label in labels]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def vocabulary(self) -> list[str]:
+        return sorted(self._rows)
+
+    def selectivity(self, labels: Iterable[str]) -> float:
+        if self.n == 0:
+            return 0.0
+        return len(self.isin(labels)) / self.n

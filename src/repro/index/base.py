@@ -1,0 +1,171 @@
+"""Vector index interface and registry.
+
+Every index implements :class:`VectorIndex`:
+
+* ``build(data)`` — train and populate from an ``(n, dim)`` float32 matrix;
+* ``search(queries, k)`` — return ``(ids, adjusted_distances)`` arrays of
+  shape ``(nq, k)``; ids index into the build matrix, padded with ``-1``
+  when fewer than ``k`` results exist; adjusted distances follow the
+  smaller-is-more-similar convention of :mod:`repro.index.distances`;
+* ``stats`` — the work counters of the most recent ``search`` call, which
+  the query node feeds to the cost model so virtual time reflects the real
+  number of comparisons performed;
+* ``to_bytes`` / ``index_from_bytes`` — persistence for the object store.
+
+Indexes register under the names users pass in ``create_index`` params
+(``"FLAT"``, ``"IVF_FLAT"``, ``"HNSW"``, ...), mirroring the PyManu API.
+"""
+
+from __future__ import annotations
+
+import abc
+import pickle
+from dataclasses import dataclass
+from typing import Any, Type
+
+import numpy as np
+
+from repro.core.schema import MetricType
+from repro.errors import IndexBuildError
+
+
+@dataclass
+class SearchStats:
+    """Work performed by the last search (for the cost model)."""
+
+    float_comparisons: int = 0
+    quantized_comparisons: int = 0
+    ssd_blocks_read: int = 0
+    graph_hops: int = 0
+
+    def reset(self) -> None:
+        self.float_comparisons = 0
+        self.quantized_comparisons = 0
+        self.ssd_blocks_read = 0
+        self.graph_hops = 0
+
+    def merged_with(self, other: "SearchStats") -> "SearchStats":
+        return SearchStats(
+            self.float_comparisons + other.float_comparisons,
+            self.quantized_comparisons + other.quantized_comparisons,
+            self.ssd_blocks_read + other.ssd_blocks_read,
+            self.graph_hops + other.graph_hops,
+        )
+
+
+class VectorIndex(abc.ABC):
+    """Abstract base of all vector indexes."""
+
+    #: registry name, set by subclasses (e.g. "IVF_FLAT")
+    index_type: str = ""
+
+    def __init__(self, metric: MetricType, dim: int) -> None:
+        if dim <= 0:
+            raise IndexBuildError(f"invalid dim {dim}")
+        self.metric = metric
+        self.dim = dim
+        self.ntotal = 0
+        self.is_built = False
+        self.stats = SearchStats()
+
+    @abc.abstractmethod
+    def build(self, data: np.ndarray) -> None:
+        """Train and populate the index from ``(n, dim)`` float32 data."""
+
+    @abc.abstractmethod
+    def search(self, queries: np.ndarray, k: int
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k search; see the module docstring for the contract."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def _check_build_input(self, data: np.ndarray) -> np.ndarray:
+        arr = np.ascontiguousarray(data, dtype=np.float32)
+        if arr.ndim != 2 or arr.shape[1] != self.dim:
+            raise IndexBuildError(
+                f"{self.index_type}: expected (n, {self.dim}) data, "
+                f"got shape {arr.shape}")
+        if arr.shape[0] == 0:
+            raise IndexBuildError(f"{self.index_type}: empty build data")
+        return arr
+
+    def _check_query_input(self, queries: np.ndarray) -> np.ndarray:
+        arr = np.asarray(queries, dtype=np.float32)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.dim:
+            raise IndexBuildError(
+                f"{self.index_type}: expected (nq, {self.dim}) queries, "
+                f"got shape {arr.shape}")
+        if not self.is_built:
+            raise IndexBuildError(f"{self.index_type}: index not built")
+        return arr
+
+    @staticmethod
+    def _pad_results(ids: np.ndarray, dists: np.ndarray,
+                     k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Pad result rows with -1 ids / +inf distances up to width ``k``."""
+        nq, have = ids.shape
+        if have >= k:
+            return ids[:, :k], dists[:, :k]
+        pad_ids = np.full((nq, k - have), -1, dtype=np.int64)
+        pad_dists = np.full((nq, k - have), np.inf, dtype=dists.dtype)
+        return (np.concatenate([ids, pad_ids], axis=1),
+                np.concatenate([dists, pad_dists], axis=1))
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize for the object store.
+
+        Blobs are only ever produced and consumed by this cluster's own
+        worker nodes (a trusted internal path), so pickle is acceptable.
+        """
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint (for placement decisions)."""
+        return len(self.to_bytes())
+
+
+_REGISTRY: dict[str, Type[VectorIndex]] = {}
+
+
+def register_index(name: str):
+    """Class decorator adding an index to the factory registry."""
+
+    def deco(cls: Type[VectorIndex]) -> Type[VectorIndex]:
+        cls.index_type = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def available_indexes() -> list[str]:
+    """Names accepted by :func:`create_index`."""
+    return sorted(_REGISTRY)
+
+
+def create_index(index_type: str, metric: MetricType, dim: int,
+                 **params: Any) -> VectorIndex:
+    """Instantiate an index by registry name with type-specific params."""
+    try:
+        cls = _REGISTRY[index_type.upper()]
+    except KeyError:
+        raise IndexBuildError(
+            f"unknown index type {index_type!r}; "
+            f"available: {available_indexes()}") from None
+    return cls(metric=metric, dim=dim, **params)
+
+
+def index_from_bytes(raw: bytes) -> VectorIndex:
+    """Deserialize an index blob produced by :meth:`VectorIndex.to_bytes`."""
+    obj = pickle.loads(raw)
+    if not isinstance(obj, VectorIndex):
+        raise IndexBuildError("blob does not contain a VectorIndex")
+    return obj

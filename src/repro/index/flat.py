@@ -1,0 +1,55 @@
+"""FLAT: exact brute-force search.
+
+The reference index: scans every vector.  Exact (recall 1.0 by definition),
+used for growing-segment slices before a temporary index exists, as the
+ground-truth oracle in tests, and as the recall baseline in benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schema import MetricType
+from repro.index.base import VectorIndex, register_index
+from repro.index.distances import adjusted_distances, topk_smallest
+
+
+@register_index("FLAT")
+class FlatIndex(VectorIndex):
+    """Exact scan over the raw vectors."""
+
+    def __init__(self, metric: MetricType, dim: int) -> None:
+        super().__init__(metric, dim)
+        self._data: np.ndarray | None = None
+
+    def build(self, data: np.ndarray) -> None:
+        arr = self._check_build_input(data)
+        self._data = arr
+        self.ntotal = arr.shape[0]
+        self.is_built = True
+
+    def add(self, data: np.ndarray) -> None:
+        """Append vectors (FLAT needs no training, so it can grow)."""
+        arr = np.ascontiguousarray(data, dtype=np.float32)
+        if not self.is_built:
+            self.build(arr)
+            return
+        if arr.ndim != 2 or arr.shape[1] != self.dim:
+            raise ValueError(f"expected (n, {self.dim}), got {arr.shape}")
+        self._data = np.concatenate([self._data, arr], axis=0)
+        self.ntotal = self._data.shape[0]
+
+    def search(self, queries: np.ndarray, k: int
+               ) -> tuple[np.ndarray, np.ndarray]:
+        queries = self._check_query_input(queries)
+        self.stats.reset()
+        dists = adjusted_distances(queries, self._data, self.metric)
+        self.stats.float_comparisons = queries.shape[0] * self.ntotal
+        ids, vals = topk_smallest(dists, k)
+        return self._pad_results(ids.astype(np.int64), vals, k)
+
+    def reconstruct(self, idx: int) -> np.ndarray:
+        """Return the stored vector at position ``idx``."""
+        if self._data is None:
+            raise ValueError("index not built")
+        return self._data[idx].copy()

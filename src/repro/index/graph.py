@@ -1,0 +1,117 @@
+"""Shared machinery for flat proximity graphs (NSG, NGT).
+
+Provides exact k-NN graph construction (blocked brute force, fine at the
+scales of our experiments) and a best-first beam searcher over an adjacency
+list, with the same work accounting as the other indexes.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.schema import MetricType
+from repro.index.base import SearchStats
+from repro.index.distances import adjusted_distances, topk_smallest
+
+
+def exact_knn_graph(data: np.ndarray, k: int, metric: MetricType,
+                    block: int = 1024) -> list[np.ndarray]:
+    """Adjacency list of each point's exact k nearest neighbours (no self).
+
+    Computed in row blocks to bound peak memory at ``block * n`` floats.
+    """
+    n = data.shape[0]
+    k = min(k, n - 1)
+    adjacency: list[np.ndarray] = []
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        dists = adjusted_distances(data[start:stop], data, metric)
+        rows = np.arange(start, stop)
+        dists[np.arange(stop - start), rows] = np.inf  # exclude self
+        ids, _ = topk_smallest(dists, k)
+        for row in range(stop - start):
+            adjacency.append(ids[row].astype(np.int64))
+    return adjacency
+
+
+def beam_search(graph: list[np.ndarray], data: np.ndarray, q: np.ndarray,
+                entries: list[int], ef: int, metric: MetricType,
+                stats: SearchStats,
+                visited_out: set | None = None) -> list[tuple[float, int]]:
+    """Best-first beam over a flat graph; returns (distance, id) ascending.
+
+    ``visited_out``, when given, collects every node whose distance was
+    evaluated — graph constructions (NSG/Vamana) use the visited set as
+    the candidate pool for edge selection.
+    """
+    eps = np.asarray(sorted(set(entries)), dtype=np.int64)
+    dists = adjusted_distances(q, data[eps], metric)[0]
+    stats.float_comparisons += len(eps)
+    visited = set(int(e) for e in eps)
+    candidates = [(float(d), int(e)) for d, e in zip(dists, eps)]
+    heapq.heapify(candidates)
+    results = [(-float(d), int(e)) for d, e in zip(dists, eps)]
+    heapq.heapify(results)
+    while len(results) > ef:
+        heapq.heappop(results)
+    while candidates:
+        dist, node = heapq.heappop(candidates)
+        worst = -results[0][0]
+        if dist > worst and len(results) >= ef:
+            break
+        fresh = np.asarray([x for x in graph[node] if int(x) not in visited],
+                           dtype=np.int64)
+        if not len(fresh):
+            continue
+        visited.update(int(x) for x in fresh)
+        fresh_dists = adjusted_distances(q, data[fresh], metric)[0]
+        stats.float_comparisons += len(fresh)
+        stats.graph_hops += 1
+        worst = -results[0][0]
+        for fd, fn in zip(fresh_dists, fresh):
+            fd = float(fd)
+            fn = int(fn)
+            if len(results) < ef or fd < worst:
+                heapq.heappush(candidates, (fd, fn))
+                heapq.heappush(results, (-fd, fn))
+                if len(results) > ef:
+                    heapq.heappop(results)
+                worst = -results[0][0]
+    if visited_out is not None:
+        visited_out.update(visited)
+    return sorted((-d, node) for d, node in results)
+
+
+def ensure_connected(graph: list[np.ndarray], data: np.ndarray,
+                     root: int, metric: MetricType) -> None:
+    """Graft unreachable nodes onto the component of ``root`` (in place).
+
+    BFS from the root; every unreachable node gets an edge from its nearest
+    reachable neighbour — the spanning step NSG uses to guarantee every
+    point can be found from the navigating node.
+    """
+    n = len(graph)
+    seen = np.zeros(n, dtype=bool)
+    frontier = [root]
+    seen[root] = True
+    while frontier:
+        nxt: list[int] = []
+        for node in frontier:
+            for nb in graph[node]:
+                nb = int(nb)
+                if not seen[nb]:
+                    seen[nb] = True
+                    nxt.append(nb)
+        frontier = nxt
+    unreachable = np.flatnonzero(~seen)
+    if not len(unreachable):
+        return
+    reachable = np.flatnonzero(seen)
+    for node in unreachable:
+        dists = adjusted_distances(data[node], data[reachable], metric)[0]
+        anchor = int(reachable[int(dists.argmin())])
+        graph[anchor] = np.append(graph[anchor], node)
+        # Newly attached nodes become reachable anchors for later ones.
+        reachable = np.append(reachable, node)

@@ -1,0 +1,143 @@
+"""k-means clustering for inverted indexes and quantizers.
+
+A deterministic Lloyd's k-means with k-means++ seeding, plus the
+*hierarchical balanced* variant used by the SSD index (Section 4.4) to
+produce clusters whose sizes stay below a cap (so each bucket fits in a
+4 KB block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.distances import squared_l2
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Centroids plus each point's assignment."""
+
+    centroids: np.ndarray  # (k, dim) float32
+    assignments: np.ndarray  # (n,) int64
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+
+def _kmeans_pp_init(data: np.ndarray, k: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=np.float32)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    closest = squared_l2(data, centroids[0:1])[:, 0]
+    for i in range(1, k):
+        total = float(closest.sum())
+        if total <= 0:
+            # All remaining points coincide with chosen centroids.
+            pick = int(rng.integers(n))
+        else:
+            probs = closest / total
+            pick = int(rng.choice(n, p=probs))
+        centroids[i] = data[pick]
+        dist = squared_l2(data, centroids[i:i + 1])[:, 0]
+        np.minimum(closest, dist, out=closest)
+    return centroids
+
+
+def kmeans(data: np.ndarray, k: int, max_iters: int = 25,
+           seed: int = 0, tol: float = 1e-4) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Deterministic for a fixed seed.  ``k`` is clamped to ``n``; empty
+    clusters are reseeded with the points farthest from their centroids.
+    """
+    data = np.ascontiguousarray(data, dtype=np.float32)
+    n = data.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster an empty dataset")
+    k = max(1, min(k, n))
+    rng = np.random.default_rng(seed)
+    centroids = _kmeans_pp_init(data, k, rng)
+
+    assignments = np.zeros(n, dtype=np.int64)
+    iteration = 0
+    for iteration in range(1, max_iters + 1):
+        dists = squared_l2(data, centroids)
+        assignments = dists.argmin(axis=1)
+        new_centroids = centroids.copy()
+        moved = 0.0
+        for cluster in range(k):
+            members = data[assignments == cluster]
+            if len(members) == 0:
+                # Reseed from the globally worst-served point.
+                worst = int(dists.min(axis=1).argmax())
+                new_centroids[cluster] = data[worst]
+            else:
+                new_centroids[cluster] = members.mean(axis=0)
+        moved = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if moved < tol:
+            break
+    final = squared_l2(data, centroids).argmin(axis=1)
+    return KMeansResult(centroids=centroids, assignments=final,
+                        iterations=iteration)
+
+
+def hierarchical_balanced_kmeans(data: np.ndarray, max_cluster_size: int,
+                                 branch: int = 8, seed: int = 0,
+                                 max_depth: int = 12) -> KMeansResult:
+    """Recursively split clusters until every cluster fits the size cap.
+
+    This is the SSD index's bucketing step: "conducting hierarchical k-means
+    for the vectors and controlling the sizes of the clusters" so every
+    bucket fits a 4 KB block.  Returns flat centroids/assignments over the
+    final leaves.
+    """
+    data = np.ascontiguousarray(data, dtype=np.float32)
+    if max_cluster_size <= 0:
+        raise ValueError("max_cluster_size must be positive")
+
+    leaf_centroids: list[np.ndarray] = []
+    leaf_members: list[np.ndarray] = []
+
+    def split(indices: np.ndarray, depth: int) -> None:
+        subset = data[indices]
+        if len(indices) <= max_cluster_size or depth >= max_depth:
+            leaf_centroids.append(subset.mean(axis=0))
+            leaf_members.append(indices)
+            return
+        k = min(branch, max(2, int(np.ceil(len(indices) / max_cluster_size))))
+        result = kmeans(subset, k, seed=seed + depth)
+        made_progress = False
+        for cluster in range(result.k):
+            members = indices[result.assignments == cluster]
+            if len(members) == 0:
+                continue
+            if len(members) < len(indices):
+                made_progress = True
+        if not made_progress:
+            # Degenerate data (all points identical): chunk arbitrarily.
+            for start in range(0, len(indices), max_cluster_size):
+                chunk = indices[start:start + max_cluster_size]
+                leaf_centroids.append(data[chunk].mean(axis=0))
+                leaf_members.append(chunk)
+            return
+        for cluster in range(result.k):
+            members = indices[result.assignments == cluster]
+            if len(members):
+                split(members, depth + 1)
+
+    split(np.arange(len(data), dtype=np.int64), 0)
+
+    centroids = np.stack(leaf_centroids).astype(np.float32)
+    assignments = np.empty(len(data), dtype=np.int64)
+    for leaf, members in enumerate(leaf_members):
+        assignments[members] = leaf
+    return KMeansResult(centroids=centroids, assignments=assignments,
+                        iterations=0)

@@ -1,0 +1,256 @@
+"""Product quantization (PQ) and IVF-PQ.
+
+PQ splits vectors into ``m`` subspaces and vector-quantizes each with its
+own 256-centroid codebook, compressing a float32 vector to ``m`` bytes.
+Search uses asymmetric distance computation (ADC): per query, a ``(m, 256)``
+lookup table of subspace distances is built once and each database code is
+scored with ``m`` table lookups — the quantized-comparison fast path of the
+cost model.
+
+:class:`IvfPqIndex` composes a coarse IVF quantizer with PQ on the residuals
+(vector minus its centroid), the classic Jegou et al. construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schema import MetricType
+from repro.errors import IndexBuildError
+from repro.index.base import VectorIndex, register_index
+from repro.index.distances import adjusted_distances, squared_l2, topk_smallest
+from repro.index.kmeans import kmeans
+
+
+def effective_metric(metric: MetricType) -> MetricType:
+    """Cosine is handled as inner product over normalized vectors.
+
+    Per-subspace cosine does not compose into full-vector cosine, so
+    PQ-based indexes normalize rows at build/search time and run IP math.
+    """
+    if metric is MetricType.COSINE:
+        return MetricType.INNER_PRODUCT
+    return metric
+
+
+def normalize_rows(arr: np.ndarray) -> np.ndarray:
+    """L2-normalize rows, leaving zero rows untouched."""
+    arr = np.asarray(arr, dtype=np.float32)
+    norms = np.linalg.norm(arr, axis=-1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return arr / norms
+
+
+class ProductQuantizer:
+    """PQ codec: train / encode / decode / ADC lookup tables."""
+
+    def __init__(self, dim: int, m: int = 8, nbits: int = 8,
+                 seed: int = 0) -> None:
+        if dim % m != 0:
+            raise IndexBuildError(f"dim {dim} not divisible by m {m}")
+        if not 1 <= nbits <= 8:
+            raise IndexBuildError(f"nbits must be in [1, 8], got {nbits}")
+        self.dim = dim
+        self.m = m
+        self.nbits = nbits
+        self.ksub = 1 << nbits
+        self.dsub = dim // m
+        self.seed = seed
+        self._codebooks: np.ndarray | None = None  # (m, ksub, dsub)
+        self.is_trained = False
+
+    def train(self, data: np.ndarray) -> None:
+        """Learn one codebook per subspace with k-means."""
+        data = np.ascontiguousarray(data, dtype=np.float32)
+        if data.shape[1] != self.dim:
+            raise IndexBuildError(
+                f"PQ: expected dim {self.dim}, got {data.shape[1]}")
+        ksub = min(self.ksub, data.shape[0])
+        books = np.zeros((self.m, self.ksub, self.dsub), dtype=np.float32)
+        for sub in range(self.m):
+            chunk = data[:, sub * self.dsub:(sub + 1) * self.dsub]
+            result = kmeans(chunk, ksub, seed=self.seed + sub)
+            books[sub, :result.k] = result.centroids
+            if result.k < self.ksub:
+                # Unused codewords mirror the last real one so decode stays
+                # well-defined for any byte value.
+                books[sub, result.k:] = result.centroids[-1]
+        self._codebooks = books
+        self.is_trained = True
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Quantize ``(n, dim)`` vectors to ``(n, m)`` uint8 codes."""
+        self._require_trained()
+        data = np.ascontiguousarray(data, dtype=np.float32)
+        n = data.shape[0]
+        codes = np.empty((n, self.m), dtype=np.uint8)
+        for sub in range(self.m):
+            chunk = data[:, sub * self.dsub:(sub + 1) * self.dsub]
+            dists = squared_l2(chunk, self._codebooks[sub])
+            codes[:, sub] = dists.argmin(axis=1).astype(np.uint8)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate vectors from codes."""
+        self._require_trained()
+        codes = np.asarray(codes, dtype=np.int64)
+        n = codes.shape[0]
+        out = np.empty((n, self.dim), dtype=np.float32)
+        for sub in range(self.m):
+            out[:, sub * self.dsub:(sub + 1) * self.dsub] = (
+                self._codebooks[sub][codes[:, sub]])
+        return out
+
+    def adc_table(self, query: np.ndarray,
+                  metric: MetricType) -> np.ndarray:
+        """Per-subspace lookup table of adjusted distances, shape (m, ksub)."""
+        self._require_trained()
+        query = np.asarray(query, dtype=np.float32).reshape(self.dim)
+        table = np.empty((self.m, self.ksub), dtype=np.float32)
+        for sub in range(self.m):
+            q_sub = query[sub * self.dsub:(sub + 1) * self.dsub]
+            table[sub] = adjusted_distances(q_sub[None, :],
+                                            self._codebooks[sub], metric)[0]
+        return table
+
+    @staticmethod
+    def adc_scan(table: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Score ``(n, m)`` codes against a query's ADC table."""
+        codes = np.asarray(codes, dtype=np.int64)
+        m = table.shape[0]
+        return table[np.arange(m)[None, :], codes].sum(axis=1)
+
+    def _require_trained(self) -> None:
+        if not self.is_trained:
+            raise IndexBuildError("product quantizer not trained")
+
+    def reconstruction_error(self, data: np.ndarray) -> float:
+        """Mean squared reconstruction error (quality diagnostics)."""
+        approx = self.decode(self.encode(data))
+        return float(np.mean((data - approx) ** 2))
+
+
+@register_index("PQ")
+class PqIndex(VectorIndex):
+    """Standalone PQ index: ADC scan over all codes."""
+
+    def __init__(self, metric: MetricType, dim: int, m: int = 8,
+                 nbits: int = 8, seed: int = 0) -> None:
+        super().__init__(metric, dim)
+        self.pq = ProductQuantizer(dim, m=m, nbits=nbits, seed=seed)
+        self._codes: np.ndarray | None = None
+
+    def build(self, data: np.ndarray) -> None:
+        arr = self._check_build_input(data)
+        if self.metric is MetricType.COSINE:
+            arr = normalize_rows(arr)
+        self.pq.train(arr)
+        self._codes = self.pq.encode(arr)
+        self.ntotal = arr.shape[0]
+        self.is_built = True
+
+    def search(self, queries: np.ndarray, k: int
+               ) -> tuple[np.ndarray, np.ndarray]:
+        queries = self._check_query_input(queries)
+        if self.metric is MetricType.COSINE:
+            queries = normalize_rows(queries)
+        metric = effective_metric(self.metric)
+        self.stats.reset()
+        nq = queries.shape[0]
+        all_ids = np.full((nq, k), -1, dtype=np.int64)
+        all_dists = np.full((nq, k), np.inf, dtype=np.float32)
+        for qi in range(nq):
+            table = self.pq.adc_table(queries[qi], metric)
+            dists = ProductQuantizer.adc_scan(table, self._codes)
+            self.stats.quantized_comparisons += self.ntotal
+            idx, vals = topk_smallest(dists, k)
+            all_ids[qi, :len(idx)] = idx
+            all_dists[qi, :len(idx)] = vals
+        return all_ids, all_dists
+
+
+@register_index("IVF_PQ")
+class IvfPqIndex(VectorIndex):
+    """IVF coarse quantizer + PQ-compressed residuals."""
+
+    def __init__(self, metric: MetricType, dim: int, nlist: int = 128,
+                 nprobe: int = 8, m: int = 8, nbits: int = 8,
+                 seed: int = 0) -> None:
+        super().__init__(metric, dim)
+        self.nlist = nlist
+        self.nprobe = nprobe
+        self.seed = seed
+        self.pq = ProductQuantizer(dim, m=m, nbits=nbits, seed=seed)
+        self._centroids: np.ndarray | None = None
+        self._lists: list[np.ndarray] = []
+        self._list_codes: list[np.ndarray] = []
+
+    def build(self, data: np.ndarray) -> None:
+        arr = self._check_build_input(data)
+        if self.metric is MetricType.COSINE:
+            arr = normalize_rows(arr)
+        k = min(self.nlist, arr.shape[0])
+        coarse = kmeans(arr, k, seed=self.seed)
+        self._centroids = coarse.centroids
+        residuals = arr - coarse.centroids[coarse.assignments]
+        self.pq.train(residuals)
+        codes = self.pq.encode(residuals)
+        self._lists = []
+        self._list_codes = []
+        for cluster in range(coarse.k):
+            members = np.flatnonzero(coarse.assignments == cluster)
+            self._lists.append(members.astype(np.int64))
+            self._list_codes.append(codes[members])
+        self.ntotal = arr.shape[0]
+        self.is_built = True
+
+    def search(self, queries: np.ndarray, k: int,
+               nprobe: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        queries = self._check_query_input(queries)
+        if self.metric is MetricType.COSINE:
+            queries = normalize_rows(queries)
+        metric = effective_metric(self.metric)
+        nprobe = min(nprobe or self.nprobe, len(self._lists))
+        self.stats.reset()
+        centroid_dists = adjusted_distances(queries, self._centroids,
+                                            metric)
+        self.stats.float_comparisons += (queries.shape[0]
+                                         * self._centroids.shape[0])
+        probe_lists, _ = topk_smallest(centroid_dists, nprobe)
+
+        nq = queries.shape[0]
+        all_ids = np.full((nq, k), -1, dtype=np.int64)
+        all_dists = np.full((nq, k), np.inf, dtype=np.float32)
+        euclidean = self.metric is MetricType.EUCLIDEAN
+        for qi in range(nq):
+            cand_ids: list[np.ndarray] = []
+            cand_dists: list[np.ndarray] = []
+            for cluster in probe_lists[qi]:
+                members = self._lists[cluster]
+                if not len(members):
+                    continue
+                if euclidean:
+                    # ||q - (c + r)||^2 == ||(q - c) - r||^2: ADC on the
+                    # residual query scores clusters on a common scale.
+                    residual_query = queries[qi] - self._centroids[cluster]
+                    table = self.pq.adc_table(residual_query, metric)
+                    dists = ProductQuantizer.adc_scan(
+                        table, self._list_codes[cluster])
+                else:
+                    # -<q, c + r> == -<q, c> - <q, r>: score residuals with
+                    # the raw query and add the centroid term.
+                    table = self.pq.adc_table(queries[qi], metric)
+                    dists = (ProductQuantizer.adc_scan(
+                        table, self._list_codes[cluster])
+                        + centroid_dists[qi, cluster])
+                self.stats.quantized_comparisons += len(members)
+                cand_ids.append(members)
+                cand_dists.append(dists)
+            if not cand_ids:
+                continue
+            ids = np.concatenate(cand_ids)
+            dists = np.concatenate(cand_dists)
+            idx, vals = topk_smallest(dists, k)
+            all_ids[qi, :len(idx)] = ids[idx]
+            all_dists[qi, :len(idx)] = vals
+        return all_ids, all_dists

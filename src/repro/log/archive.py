@@ -1,0 +1,155 @@
+"""WAL archival to object storage (Section 3.3).
+
+The paper's WAL is a durable cloud service; our in-process broker holds
+entries in memory, so durability across a broker loss comes from the
+archiver: a plain log subscriber that serializes consumed records
+(:func:`repro.log.wal.record_to_bytes`) into fixed-size chunk blobs under
+``wal-archive/<channel>/<first-offset>.chunk``.  A fresh broker can be
+re-populated from the archive with :meth:`WalArchiver.restore_channel`,
+and time travel can replay beyond the broker's retention window.
+
+Chunk format: ``WARC | count | (length, record-bytes)*`` with the chunk's
+first offset encoded in its key, so chunks are independently readable and
+the archive supports offset-ranged restores.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.errors import StorageError
+from repro.log.broker import LogBroker, LogEntry, Subscription
+from repro.log.wal import WalRecord, record_from_bytes, record_to_bytes
+from repro.storage.object_store import ObjectStore
+
+_MAGIC = b"WARC"
+
+
+def _chunk_key(channel: str, first_offset: int) -> str:
+    return f"wal-archive/{channel}/{first_offset:012d}.chunk"
+
+
+def _encode_chunk(records: list[WalRecord]) -> bytes:
+    parts = [_MAGIC, struct.pack("<I", len(records))]
+    for record in records:
+        blob = record_to_bytes(record)
+        parts.append(struct.pack("<I", len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def _decode_chunk(raw: bytes) -> list[WalRecord]:
+    if raw[:4] != _MAGIC:
+        raise StorageError("not a WAL archive chunk")
+    (count,) = struct.unpack_from("<I", raw, 4)
+    offset = 8
+    out: list[WalRecord] = []
+    for _ in range(count):
+        (length,) = struct.unpack_from("<I", raw, offset)
+        offset += 4
+        out.append(record_from_bytes(raw[offset:offset + length]))
+        offset += length
+    return out
+
+
+class WalArchiver:
+    """Archives one or more WAL channels into the object store."""
+
+    def __init__(self, broker: LogBroker, store: ObjectStore,
+                 chunk_records: int = 64) -> None:
+        if chunk_records <= 0:
+            raise ValueError("chunk_records must be positive")
+        self._broker = broker
+        self._store = store
+        self.chunk_records = chunk_records
+        self._subs: dict[str, Subscription] = {}
+        self._pending: dict[str, list[tuple[int, WalRecord]]] = {}
+        self.chunks_written = 0
+
+    # ------------------------------------------------------------------
+    # archiving
+    # ------------------------------------------------------------------
+
+    def attach(self, channel: str, from_offset: int = 0) -> None:
+        """Start archiving a channel (idempotent)."""
+        if channel in self._subs:
+            return
+        self._pending[channel] = []
+        self._subs[channel] = self._broker.subscribe(
+            channel, f"wal-archiver:{channel}", from_offset,
+            callback=self._on_entry)
+
+    def detach(self, channel: str) -> None:
+        sub = self._subs.pop(channel, None)
+        if sub is not None:
+            sub.cancel()
+        self.flush(channel)
+        self._pending.pop(channel, None)
+
+    def _on_entry(self, entry: LogEntry) -> None:
+        pending = self._pending[entry.channel]
+        pending.append((entry.offset, entry.payload))
+        if len(pending) >= self.chunk_records:
+            self.flush(entry.channel)
+
+    def flush(self, channel: Optional[str] = None) -> int:
+        """Write pending records out; returns the number archived."""
+        channels = [channel] if channel is not None else list(self._pending)
+        written = 0
+        for name in channels:
+            pending = self._pending.get(name)
+            if not pending:
+                continue
+            first_offset = pending[0][0]
+            blob = _encode_chunk([record for _off, record in pending])
+            self._store.put(_chunk_key(name, first_offset), blob)
+            written += len(pending)
+            self._pending[name] = []
+            self.chunks_written += 1
+        return written
+
+    # ------------------------------------------------------------------
+    # reading / restore
+    # ------------------------------------------------------------------
+
+    def archived_chunks(self, channel: str) -> list[int]:
+        """First offsets of the channel's archived chunks, sorted."""
+        prefix = f"wal-archive/{channel}/"
+        out = []
+        for key in self._store.list(prefix):
+            name = key[len(prefix):]
+            out.append(int(name.split(".")[0]))
+        return sorted(out)
+
+    def read_records(self, channel: str, from_offset: int = 0
+                     ) -> list[tuple[int, WalRecord]]:
+        """(offset, record) pairs archived at or past ``from_offset``."""
+        out: list[tuple[int, WalRecord]] = []
+        for first in self.archived_chunks(channel):
+            raw = self._store.get(_chunk_key(channel, first))
+            for i, record in enumerate(_decode_chunk(raw)):
+                offset = first + i
+                if offset >= from_offset:
+                    out.append((offset, record))
+        return out
+
+    def restore_channel(self, target: LogBroker, channel: str) -> int:
+        """Re-publish a channel's archive into a fresh broker.
+
+        The target channel must be empty (offsets must line up with the
+        archived ones); returns the number of records restored.
+        """
+        target.create_channel(channel)
+        if target.end_offset(channel) != 0:
+            raise StorageError(
+                f"target channel {channel} is not empty; offsets would "
+                "diverge from the archive")
+        restored = 0
+        for offset, record in self.read_records(channel):
+            if offset != restored:
+                raise StorageError(
+                    f"archive of {channel} has a gap at offset {restored}")
+            target.publish(channel, record)
+            restored += 1
+        return restored

@@ -1,0 +1,202 @@
+"""Durable pub/sub log broker — the Kafka/Pulsar stand-in.
+
+Channels are append-only sequences of entries.  Every append gets a dense
+per-channel offset.  Subscribers are named cursors that either *pull*
+(``poll``) or are *pushed* entries through a callback; with an event loop
+attached, pushed deliveries are scheduled after a configurable network delay
+so log propagation time is visible to the timing experiments.
+
+The broker retains all entries until ``truncate`` (log expiration, used by
+time travel's retention policy), so any new subscriber can replay history —
+the property the paper's failure recovery and stream indexing rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ChannelNotFound
+from repro.sim.events import EventLoop
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One appended record with its channel offset."""
+
+    channel: str
+    offset: int
+    payload: Any
+
+
+class Subscription:
+    """A named cursor over one channel.
+
+    Pull mode: call :meth:`poll` to receive entries past the cursor.
+    Push mode: construct with a callback; the broker delivers every entry
+    (including backlog at subscription time) in order.
+    """
+
+    def __init__(self, broker: "LogBroker", channel: str, name: str,
+                 offset: int,
+                 callback: Optional[Callable[[LogEntry], None]]) -> None:
+        self._broker = broker
+        self.channel = channel
+        self.name = name
+        self.offset = offset  # next offset to deliver
+        self.callback = callback
+        self.active = True
+        self._delivering = False
+
+    def poll(self, max_entries: int = 1024) -> list[LogEntry]:
+        """Return up to ``max_entries`` entries past the cursor; advances it."""
+        entries = self._broker.read(self.channel, self.offset, max_entries)
+        if entries:
+            self.offset = entries[-1].offset + 1
+        return entries
+
+    def seek(self, offset: int) -> None:
+        """Move the cursor (replay from an earlier position)."""
+        self.offset = max(0, offset)
+
+    def lag(self) -> int:
+        """Entries appended but not yet consumed by this cursor."""
+        return self._broker.end_offset(self.channel) - self.offset
+
+    def cancel(self) -> None:
+        """Stop all future deliveries to this subscription."""
+        self.active = False
+        self._broker._drop(self)
+
+
+class LogBroker:
+    """In-process multi-channel log broker.
+
+    ``delivery_delay_ms`` models the network/propagation delay of pushed
+    entries when an event loop is attached; without a loop, pushes are
+    synchronous (useful in unit tests).
+    """
+
+    def __init__(self, loop: Optional[EventLoop] = None,
+                 delivery_delay_ms: float = 0.5) -> None:
+        self._loop = loop
+        self.delivery_delay_ms = delivery_delay_ms
+        self._channels: dict[str, list[LogEntry]] = {}
+        self._base_offsets: dict[str, int] = {}
+        self._subs: dict[str, list[Subscription]] = {}
+
+    # ------------------------------------------------------------------
+    # channel management
+    # ------------------------------------------------------------------
+
+    def create_channel(self, channel: str) -> None:
+        """Create a channel if it does not exist (idempotent)."""
+        self._channels.setdefault(channel, [])
+        self._base_offsets.setdefault(channel, 0)
+        self._subs.setdefault(channel, [])
+
+    def has_channel(self, channel: str) -> bool:
+        return channel in self._channels
+
+    def channels(self) -> list[str]:
+        return sorted(self._channels)
+
+    def _entries(self, channel: str) -> list[LogEntry]:
+        try:
+            return self._channels[channel]
+        except KeyError:
+            raise ChannelNotFound(channel) from None
+
+    # ------------------------------------------------------------------
+    # producing
+    # ------------------------------------------------------------------
+
+    def publish(self, channel: str, payload: Any) -> int:
+        """Append a payload; returns its offset and triggers deliveries."""
+        entries = self._entries(channel)
+        offset = self._base_offsets[channel] + len(entries)
+        entry = LogEntry(channel, offset, payload)
+        entries.append(entry)
+        for sub in list(self._subs[channel]):
+            self._deliver(sub)
+        return offset
+
+    # ------------------------------------------------------------------
+    # consuming
+    # ------------------------------------------------------------------
+
+    def read(self, channel: str, from_offset: int,
+             max_entries: int = 1024) -> list[LogEntry]:
+        """Entries with ``offset >= from_offset`` (bounded), oldest first."""
+        entries = self._entries(channel)
+        base = self._base_offsets[channel]
+        start = max(from_offset - base, 0)
+        return entries[start:start + max_entries]
+
+    def end_offset(self, channel: str) -> int:
+        """Offset the next published entry will receive."""
+        return self._base_offsets[channel] + len(self._entries(channel))
+
+    def begin_offset(self, channel: str) -> int:
+        """Oldest retained offset (moves up on truncation)."""
+        self._entries(channel)
+        return self._base_offsets[channel]
+
+    def subscribe(self, channel: str, name: str, from_offset: int = 0,
+                  callback: Optional[Callable[[LogEntry], None]] = None,
+                  ) -> Subscription:
+        """Attach a named cursor; with a callback, backlog is pushed too."""
+        self._entries(channel)
+        from_offset = max(from_offset, self._base_offsets[channel])
+        sub = Subscription(self, channel, name, from_offset, callback)
+        self._subs[channel].append(sub)
+        if callback is not None:
+            self._deliver(sub)
+        return sub
+
+    def _drop(self, sub: Subscription) -> None:
+        subs = self._subs.get(sub.channel, [])
+        if sub in subs:
+            subs.remove(sub)
+
+    def _deliver(self, sub: Subscription) -> None:
+        """Schedule (or run) delivery of all outstanding entries to ``sub``."""
+        if sub.callback is None or not sub.active or sub._delivering:
+            return
+        sub._delivering = True
+
+        def flush() -> None:
+            sub._delivering = False
+            if not sub.active:
+                return
+            for entry in sub.poll():
+                if not sub.active:
+                    break
+                sub.callback(entry)
+            # New entries may have been appended while flushing.
+            if sub.active and sub.lag() > 0:
+                self._deliver(sub)
+
+        if self._loop is not None:
+            self._loop.call_after(self.delivery_delay_ms, flush,
+                                  name=f"log-delivery:{sub.name}")
+        else:
+            flush()
+
+    # ------------------------------------------------------------------
+    # retention
+    # ------------------------------------------------------------------
+
+    def truncate(self, channel: str, up_to_offset: int) -> int:
+        """Discard entries with offset < ``up_to_offset``; returns dropped count.
+
+        Used by the time-travel retention policy ("users can specify an
+        expiration period to delete outdated log").
+        """
+        entries = self._entries(channel)
+        base = self._base_offsets[channel]
+        drop = min(max(up_to_offset - base, 0), len(entries))
+        if drop:
+            self._channels[channel] = entries[drop:]
+            self._base_offsets[channel] = base + drop
+        return drop

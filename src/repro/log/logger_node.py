@@ -1,0 +1,236 @@
+"""Loggers: the entry points for publishing data onto the WAL (Figure 4).
+
+A logger owns one or more shard buckets of the consistent-hash ring.  For an
+insert it verifies the request, obtains an LSN from the TSO, asks the data
+coordinator's segment allocator which growing segment the rows belong to,
+publishes the batch on the shard's WAL channel, and records the entity-id ->
+segment-id mapping in the shard's LSM tree (flushed as SSTables to object
+storage).  For a delete it consults the mapping to drop keys that were never
+inserted, then publishes the deletion.
+
+The :class:`LoggerService` is the routing front: it hashes primary keys to
+shards, maps shards to loggers through the ring, and supports adding and
+removing loggers at runtime — shard LSM state is keyed by shard (and backed
+by the shared object store), so ownership changes never lose the mapping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Optional, Protocol
+
+import numpy as np
+
+from repro.core.entity import EntityBatch
+from repro.core.tso import TimestampOracle
+from repro.errors import ClusterStateError
+from repro.log.broker import LogBroker
+from repro.log.hashring import HashRing
+from repro.log.wal import DeleteRecord, InsertRecord, shard_channel
+from repro.storage.lsm import LsmTree
+from repro.storage.object_store import ObjectStore
+
+
+class SegmentAllocator(Protocol):
+    """Data-coordinator service assigning rows to growing segments."""
+
+    def assign_segment(self, collection: str, shard: int,
+                       num_rows: int) -> str:
+        """Return the segment id the next ``num_rows`` rows should join."""
+        ...
+
+    def assign_segments(self, collection: str, shard: int,
+                        num_rows: int) -> list[tuple[str, int]]:
+        """Partition ``num_rows`` into (segment id, count) chunks so no
+        growing segment exceeds the seal threshold."""
+        ...
+
+
+def shard_of(pk, num_shards: int) -> int:
+    """Deterministic shard of a primary key (hash of its string form)."""
+    digest = hashlib.blake2b(str(pk).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % num_shards
+
+
+def shard_bucket_key(collection: str, shard: int) -> str:
+    """Ring key of one shard's logical bucket."""
+    return f"{collection}/shard-{shard}"
+
+
+class Logger:
+    """One logger node; operates on the shard states handed to it."""
+
+    def __init__(self, name: str, tso: TimestampOracle,
+                 broker: LogBroker) -> None:
+        self.name = name
+        self._tso = tso
+        self._broker = broker
+        self.records_published = 0
+
+    def publish_insert(self, collection: str, shard: int, segment_id: str,
+                       pks: tuple, columns: Mapping,
+                       mapping: LsmTree) -> int:
+        """Publish one shard-batch; returns the packed LSN."""
+        ts = self._tso.allocate_packed()
+        record = InsertRecord(ts=ts, collection=collection, shard=shard,
+                              segment_id=segment_id, pks=pks,
+                              columns=columns)
+        self._broker.publish(shard_channel(collection, shard), record)
+        for pk in pks:
+            mapping.put(str(pk), segment_id)
+        self.records_published += 1
+        return ts
+
+    def publish_delete(self, collection: str, shard: int, pks: tuple,
+                       mapping: LsmTree) -> tuple[int, int]:
+        """Publish deletions for keys that exist; returns (LSN, count).
+
+        The logger "caches the segment mapping (e.g., for checking if the
+        entity to delete exists)": unknown keys are silently dropped, so
+        subscribers never process deletions of absent entities.
+        """
+        existing = tuple(pk for pk in pks if mapping.get(str(pk)) is not None)
+        ts = self._tso.allocate_packed()
+        if existing:
+            record = DeleteRecord(ts=ts, collection=collection, shard=shard,
+                                  pks=existing)
+            self._broker.publish(shard_channel(collection, shard), record)
+            for pk in existing:
+                mapping.delete(str(pk))
+            self.records_published += 1
+        return ts, len(existing)
+
+
+class LoggerService:
+    """Routes data-manipulation requests to loggers via the hash ring."""
+
+    def __init__(self, tso: TimestampOracle, broker: LogBroker,
+                 store: ObjectStore, allocator: SegmentAllocator,
+                 num_shards: int, logger_names: tuple[str, ...] = ("logger-0",),
+                 lsm_memtable_limit: int = 1024) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self._tso = tso
+        self._broker = broker
+        self._store = store
+        self._allocator = allocator
+        self.num_shards = num_shards
+        self._lsm_memtable_limit = lsm_memtable_limit
+        self._ring = HashRing()
+        self._loggers: dict[str, Logger] = {}
+        # Shard LSM trees are keyed by (collection, shard) and outlive any
+        # individual logger, mirroring SSTable persistence in object storage.
+        self._mappings: dict[tuple[str, int], LsmTree] = {}
+        for name in logger_names:
+            self.add_logger(name)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    @property
+    def logger_names(self) -> list[str]:
+        return sorted(self._loggers)
+
+    def add_logger(self, name: str) -> Logger:
+        """Register a logger and place it on the ring."""
+        if name in self._loggers:
+            raise ClusterStateError(f"logger {name!r} already exists")
+        logger = Logger(name, self._tso, self._broker)
+        self._loggers[name] = logger
+        self._ring.add_node(name)
+        return logger
+
+    def remove_logger(self, name: str) -> None:
+        """Remove a logger; its shards move to ring successors."""
+        if name not in self._loggers:
+            raise ClusterStateError(f"logger {name!r} does not exist")
+        if len(self._loggers) == 1:
+            raise ClusterStateError("cannot remove the last logger")
+        del self._loggers[name]
+        self._ring.remove_node(name)
+
+    def logger_for_shard(self, collection: str, shard: int) -> Logger:
+        owner = self._ring.owner(shard_bucket_key(collection, shard))
+        return self._loggers[owner]
+
+    def _mapping(self, collection: str, shard: int) -> LsmTree:
+        key = (collection, shard)
+        if key not in self._mappings:
+            self._mappings[key] = LsmTree(
+                memtable_limit=self._lsm_memtable_limit,
+                store=self._store,
+                store_prefix=f"mapping/{collection}/shard-{shard}")
+        return self._mappings[key]
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def ensure_channels(self, collection: str) -> list[str]:
+        """Create the collection's WAL shard channels; returns their names."""
+        channels = [shard_channel(collection, s)
+                    for s in range(self.num_shards)]
+        for channel in channels:
+            self._broker.create_channel(channel)
+        return channels
+
+    def insert(self, collection: str, batch: EntityBatch) -> int:
+        """Split a validated batch by shard and publish; returns max LSN."""
+        by_shard: dict[int, list[int]] = {}
+        for row, pk in enumerate(batch.pks):
+            by_shard.setdefault(shard_of(pk, self.num_shards), []).append(row)
+
+        max_ts = 0
+        for shard in sorted(by_shard):
+            rows = by_shard[shard]
+            logger = self.logger_for_shard(collection, shard)
+            mapping = self._mapping(collection, shard)
+            # Large batches are partitioned across growing segments so no
+            # segment exceeds the seal threshold.
+            cursor = 0
+            for segment_id, count in self._allocator.assign_segments(
+                    collection, shard, len(rows)):
+                chunk = rows[cursor:cursor + count]
+                cursor += count
+                pks = tuple(batch.pks[r] for r in chunk)
+                columns = {name: _take_rows(values, chunk)
+                           for name, values in batch.columns.items()}
+                ts = logger.publish_insert(collection, shard, segment_id,
+                                           pks, columns, mapping)
+                max_ts = max(max_ts, ts)
+        return max_ts
+
+    def delete(self, collection: str, pks: tuple) -> tuple[int, int]:
+        """Publish deletions by key; returns (max LSN, deleted count)."""
+        by_shard: dict[int, list] = {}
+        for pk in pks:
+            by_shard.setdefault(shard_of(pk, self.num_shards), []).append(pk)
+        max_ts = 0
+        deleted = 0
+        for shard in sorted(by_shard):
+            logger = self.logger_for_shard(collection, shard)
+            ts, count = logger.publish_delete(
+                collection, shard, tuple(by_shard[shard]),
+                self._mapping(collection, shard))
+            max_ts = max(max_ts, ts)
+            deleted += count
+        return max_ts, deleted
+
+    def lookup_segment(self, collection: str, pk) -> Optional[str]:
+        """Segment currently holding ``pk`` (None when absent)."""
+        shard = shard_of(pk, self.num_shards)
+        value = self._mapping(collection, shard).get(str(pk))
+        return value.decode() if value is not None else None
+
+    def flush_mappings(self) -> None:
+        """Flush all shard LSM memtables to SSTables (checkpointing)."""
+        for mapping in self._mappings.values():
+            mapping.flush()
+
+
+def _take_rows(values, rows: list[int]):
+    """Select a row subset from a column (numpy array or list)."""
+    if isinstance(values, np.ndarray):
+        return values[rows]
+    return [values[r] for r in rows]

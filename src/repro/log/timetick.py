@@ -1,0 +1,68 @@
+"""Time-tick emission (Section 3.4).
+
+"Special control messages called time-ticks are periodically inserted into
+each log channel signaling the progress of data synchronization."  A
+subscriber that has consumed a tick with timestamp ``t`` knows it has seen
+*every* record with LSN <= ``t`` on that channel, because loggers publish
+ticks in LSN order on the same channel as data.
+
+The emitter allocates the tick timestamp from the same TSO that stamps data
+records, so the watermark property holds by construction in our
+single-broker setting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.tso import TimestampOracle
+from repro.log.broker import LogBroker
+from repro.log.wal import TimeTickRecord
+from repro.sim.events import Event, EventLoop
+
+
+class TimeTickEmitter:
+    """Publishes a time-tick on each registered channel every interval."""
+
+    def __init__(self, loop: EventLoop, broker: LogBroker,
+                 tso: TimestampOracle, interval_ms: float,
+                 channels: Iterable[str] = (), source: str = "tso") -> None:
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self._loop = loop
+        self._broker = broker
+        self._tso = tso
+        self.interval_ms = interval_ms
+        self.source = source
+        self._channels: list[str] = list(channels)
+        self._timer: Optional[Event] = None
+        self.ticks_emitted = 0
+
+    def add_channel(self, channel: str) -> None:
+        """Start ticking a newly created channel (idempotent)."""
+        if channel not in self._channels:
+            self._channels.append(channel)
+
+    def remove_channel(self, channel: str) -> None:
+        if channel in self._channels:
+            self._channels.remove(channel)
+
+    def start(self) -> None:
+        """Begin periodic emission; safe to call once."""
+        if self._timer is not None:
+            raise RuntimeError("time-tick emitter already started")
+        self._timer = self._loop.call_every(
+            self.interval_ms, self._emit, name="time-tick")
+
+    def stop(self) -> None:
+        """Stop emission (idempotent)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _emit(self) -> None:
+        ts = self._tso.allocate_packed()
+        for channel in self._channels:
+            self._broker.publish(channel,
+                                 TimeTickRecord(ts=ts, source=self.source))
+        self.ticks_emitted += 1

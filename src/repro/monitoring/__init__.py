@@ -1,0 +1,11 @@
+"""Monitoring: the data source behind the paper's Attu GUI (Section 4.2).
+
+We do not ship a GUI, but :mod:`repro.monitoring.metrics` provides the same
+observables Attu's system view displays — QPS, average query latency, and
+memory consumption per component — as programmatic counters, gauges and
+sliding-window statistics that the autoscaler and benchmarks consume.
+"""
+
+from repro.monitoring.metrics import Counter, Gauge, LatencyWindow, MetricsRegistry
+
+__all__ = ["Counter", "Gauge", "LatencyWindow", "MetricsRegistry"]

@@ -1,0 +1,97 @@
+"""Attu-style system view as text (Section 4.2, Figure 5).
+
+The paper ships a GUI (Attu) whose *system view* shows QPS, average query
+latency and memory consumption, with per-service worker detail, plus a
+*collection view* listing collections, their load state and indexes.
+This module renders the same information from a live
+:class:`repro.cluster.manu.ManuCluster` as an ASCII dashboard — the data
+source and layout of Attu, minus the mouse.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.manu import ManuCluster
+
+
+def _bar(value: float, maximum: float, width: int = 20) -> str:
+    if maximum <= 0:
+        return " " * width
+    filled = int(round(min(1.0, value / maximum) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def system_view(cluster: ManuCluster) -> str:
+    """The top-of-screen summary plus per-service worker panels."""
+    now = cluster.now()
+    window = cluster.metrics.latency("proxy.search_latency")
+    qps = window.qps(now)
+    mean = window.mean(now)
+    p99 = window.percentile(now, 99)
+    total_memory = sum(n.memory_bytes()
+                       for n in cluster.query_coord.live_nodes())
+
+    lines = [
+        "=" * 64,
+        f"MANU SYSTEM VIEW                        t={now / 1000.0:10.1f}s",
+        "=" * 64,
+        f"QPS: {qps:8.1f}   avg latency: "
+        + (f"{mean:7.2f} ms" if mean is not None else "    n/a   ")
+        + "   p99: "
+        + (f"{p99:7.2f} ms" if p99 is not None else "  n/a"),
+        f"memory (query nodes): {total_memory / (1024 * 1024):8.2f} MiB"
+        f"    object store: "
+        f"{cluster.store.stats.bytes_written / (1024 * 1024):8.2f} MiB "
+        "written",
+        "-" * 64,
+        "QUERY NODES",
+    ]
+    nodes = cluster.query_coord.live_nodes()
+    max_rows = max((n.num_rows() for n in nodes), default=0)
+    for node in nodes:
+        rows = node.num_rows()
+        lines.append(
+            f"  {node.name:8s} rows {rows:8d} [{_bar(rows, max_rows)}] "
+            f"served {node.searches_served:6d}")
+    lines.append("INDEX NODES")
+    for node in cluster.index_nodes:
+        state = "alive" if node.alive else "down "
+        lines.append(
+            f"  {node.name:8s} {state} builds {node.builds_completed:4d} "
+            f"queue {node.queue_depth_ms():8.1f} ms")
+    lines.append("DATA NODES")
+    for node in cluster.data_nodes:
+        lines.append(
+            f"  {node.name:8s} flushed {node.segments_flushed:4d} "
+            f"channels {len(node.channels):2d}")
+    lines.append("LOGGERS")
+    for name in cluster.logger_service.logger_names:
+        lines.append(f"  {name}")
+    lines.append("=" * 64)
+    return "\n".join(lines)
+
+
+def collection_view(cluster: ManuCluster) -> str:
+    """Collections, row counts, segment states and declared indexes."""
+    lines = ["COLLECTIONS", "-" * 64]
+    for name in cluster.root_coord.list_collections():
+        loaded = cluster.query_coord.is_loaded(name)
+        rows = cluster.collection_row_count(name)
+        flushed = cluster.data_coord.flushed_segments(name)
+        specs = cluster.index_coord.index_specs_for(name)
+        indexes = ", ".join(f"{field}:{spec['index_type']}"
+                            for field, spec in sorted(specs.items())) \
+            or "(none)"
+        lines.append(f"  {name:20s} rows {rows:8d}  "
+                     f"{'LOADED  ' if loaded else 'RELEASED'}  "
+                     f"sealed segments {len(flushed):4d}")
+        lines.append(f"      indexes: {indexes}")
+        for node_name, segment_ids in sorted(
+                cluster.query_coord.distribution(name).items()):
+            lines.append(f"      {node_name}: {len(segment_ids)} segments")
+    lines.append("-" * 64)
+    return "\n".join(lines)
+
+
+def render(cluster: ManuCluster) -> str:
+    """Full dashboard: system view + collection view."""
+    return system_view(cluster) + "\n" + collection_view(cluster)

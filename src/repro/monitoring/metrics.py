@@ -1,0 +1,120 @@
+"""Counters, gauges and sliding-window latency statistics.
+
+All time arguments are virtual milliseconds; windows are pruned lazily so
+recording stays O(1) amortized.  The :class:`MetricsRegistry` namespaces
+metrics per component ("query_node.qn-0.search_latency") — the programmatic
+equivalent of Attu's per-service system view.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (memory, node count, queue depth)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class LatencyWindow:
+    """Sliding-window latency samples over virtual time.
+
+    ``record(now_ms, latency_ms)`` appends; queries prune samples older
+    than ``window_ms`` before answering.
+    """
+
+    def __init__(self, window_ms: float = 60_000.0) -> None:
+        if window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        self.window_ms = window_ms
+        self._samples: Deque[tuple[float, float]] = deque()
+
+    def record(self, now_ms: float, latency_ms: float) -> None:
+        self._samples.append((now_ms, latency_ms))
+
+    def _prune(self, now_ms: float) -> None:
+        cutoff = now_ms - self.window_ms
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    def count(self, now_ms: float) -> int:
+        self._prune(now_ms)
+        return len(self._samples)
+
+    def qps(self, now_ms: float) -> float:
+        """Requests per second over the window."""
+        self._prune(now_ms)
+        return len(self._samples) / (self.window_ms / 1000.0)
+
+    def mean(self, now_ms: float) -> Optional[float]:
+        self._prune(now_ms)
+        if not self._samples:
+            return None
+        return sum(lat for _, lat in self._samples) / len(self._samples)
+
+    def percentile(self, now_ms: float, pct: float) -> Optional[float]:
+        """Latency percentile in [0, 100] over the window."""
+        self._prune(now_ms)
+        if not self._samples:
+            return None
+        values = sorted(lat for _, lat in self._samples)
+        rank = min(len(values) - 1,
+                   max(0, round(pct / 100.0 * (len(values) - 1))))
+        return values[rank]
+
+
+@dataclass
+class MetricsRegistry:
+    """Namespaced metric store shared across cluster components."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    windows: dict[str, LatencyWindow] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        return self.counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        return self.gauges.setdefault(name, Gauge())
+
+    def latency(self, name: str,
+                window_ms: float = 60_000.0) -> LatencyWindow:
+        if name not in self.windows:
+            self.windows[name] = LatencyWindow(window_ms)
+        return self.windows[name]
+
+    def snapshot(self, now_ms: float) -> dict[str, float]:
+        """Flat name -> value view (counters, gauges, mean latencies)."""
+        out: dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[f"{name}.count"] = counter.value
+        for name, gauge in self.gauges.items():
+            out[f"{name}.value"] = gauge.value
+        for name, window in self.windows.items():
+            mean = window.mean(now_ms)
+            if mean is not None:
+                out[f"{name}.mean_ms"] = mean
+            out[f"{name}.qps"] = window.qps(now_ms)
+        return out

@@ -1,0 +1,23 @@
+"""Worker-layer nodes (Section 3.2).
+
+Stateless workers that fetch read-only copies of data and never coordinate
+with each other directly — all cooperation flows through the log backbone
+and the coordinators:
+
+* :mod:`repro.nodes.data_node` — subscribes to the WAL, accumulates growing
+  segments, converts them to column binlogs on seal, maintains delete
+  delta logs;
+* :mod:`repro.nodes.index_node` — builds indexes for sealed segments from
+  binlog columns and persists them to the object store;
+* :mod:`repro.nodes.query_node` — serves vector search over growing (WAL)
+  and sealed (binlog + index) segments with delta-consistency gating;
+* :mod:`repro.nodes.proxy` — stateless user endpoints: validate, route,
+  and globally reduce results.
+"""
+
+from repro.nodes.data_node import DataNode
+from repro.nodes.index_node import IndexNode
+from repro.nodes.query_node import QueryNode
+from repro.nodes.proxy import Proxy
+
+__all__ = ["DataNode", "IndexNode", "QueryNode", "Proxy"]

@@ -1,0 +1,293 @@
+"""Data nodes: WAL -> binlog archiving (Section 3.3).
+
+A data node subscribes to WAL shard channels and materializes the growing
+segments referenced by insert records.  When the data coordinator publishes
+a seal message (size rollover or idle timeout), the node converts the
+segment's rows to a column-based binlog, persists it to the object store,
+and announces ``segment_flushed`` on the coordination channel — carrying
+the channel offset reached, which checkpointing and failure recovery use as
+the WAL replay position.
+
+Deletions that hit a growing segment are applied to its bitmap before the
+flush; deletions whose rows live in already-flushed segments are appended
+to per-shard delete delta logs (consumed by time travel and compaction).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import ManuConfig
+from repro.core.checkpoint import write_delete_delta
+from repro.core.schema import CollectionSchema
+from repro.core.segment import Segment
+from repro.log.binlog import BinlogWriter
+from repro.log.broker import LogBroker, LogEntry, Subscription
+from repro.log.wal import (
+    CoordRecord,
+    DeleteRecord,
+    InsertRecord,
+    TimeTickRecord,
+    shard_channel,
+)
+from repro.sim.costmodel import CostModel
+from repro.sim.events import EventLoop
+from repro.storage.object_store import ObjectStore
+
+
+class DataNode:
+    """One log-archiving worker."""
+
+    def __init__(self, name: str, loop: EventLoop, broker: LogBroker,
+                 store: ObjectStore, config: ManuConfig,
+                 cost_model: CostModel,
+                 schema_provider) -> None:
+        self.name = name
+        self._loop = loop
+        self._broker = broker
+        self._store = store
+        self._config = config
+        self._cost = cost_model
+        self._schema_provider = schema_provider  # (collection) -> schema
+        self._writer = BinlogWriter(store)
+        self._subs: dict[str, Subscription] = {}
+        # (collection, segment_id) -> growing Segment
+        self._growing: dict[tuple[str, str], Segment] = {}
+        self._segment_shard: dict[tuple[str, str], int] = {}
+        self._channel_offsets: dict[str, int] = {}
+        self._delta_buffer: dict[tuple[str, int], list] = {}
+        # Seal decisions that arrived before (or while) the segment's rows
+        # were still in flight on the shard channel: (coll, seg) -> shard.
+        self._pending_seals: dict[tuple[str, str], int] = {}
+        self.segments_flushed = 0
+        self._coord_sub: Subscription | None = None
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+
+    def subscribe(self, channel: str, from_offset: int = 0) -> None:
+        """Start consuming a WAL shard channel."""
+        if channel in self._subs:
+            return
+        self._subs[channel] = self._broker.subscribe(
+            channel, f"data-node:{self.name}", from_offset,
+            callback=self._on_entry)
+
+    def unsubscribe(self, channel: str) -> None:
+        sub = self._subs.pop(channel, None)
+        if sub is not None:
+            sub.cancel()
+
+    def subscribe_coord(self) -> None:
+        """Consume seal decisions from the coordination channel."""
+        if self._coord_sub is not None:
+            return
+        channel = self._config.log.coord_channel
+        self._broker.create_channel(channel)
+        self._coord_sub = self._broker.subscribe(
+            channel, f"data-node-coord:{self.name}",
+            from_offset=self._broker.end_offset(channel),
+            callback=self._on_coord)
+
+    def _on_coord(self, entry: LogEntry) -> None:
+        record = entry.payload
+        if isinstance(record, CoordRecord) \
+                and record.kind_name == "seal_segment":
+            payload = record.payload
+            self.handle_seal(payload["collection"], payload["segment_id"],
+                             payload["shard"])
+
+    @property
+    def channels(self) -> list[str]:
+        return sorted(self._subs)
+
+    def _on_entry(self, entry: LogEntry) -> None:
+        record = entry.payload
+        self._channel_offsets[entry.channel] = entry.offset + 1
+        if isinstance(record, InsertRecord):
+            self._apply_insert(record)
+        elif isinstance(record, DeleteRecord):
+            self._apply_delete(record)
+        elif isinstance(record, TimeTickRecord):
+            pass  # archiving needs no watermark
+        elif isinstance(record, CoordRecord):
+            pass  # coordination arrives on the coord channel
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def _segment(self, collection: str, segment_id: str) -> Segment:
+        key = (collection, segment_id)
+        if key not in self._growing:
+            schema: CollectionSchema = self._schema_provider(collection)
+            segment = Segment(segment_id, collection, schema,
+                              self._config.segment)
+            segment.temp_index_enabled = False  # archiving needs no search
+            self._growing[key] = segment
+        return self._growing[key]
+
+    def _apply_insert(self, record: InsertRecord) -> None:
+        segment = self._segment(record.collection, record.segment_id)
+        self._segment_shard[(record.collection, record.segment_id)] = \
+            record.shard
+        segment.append(list(record.pks), dict(record.columns), record.ts,
+                       now_ms=self._loop.now())
+        # Rotation signal: the shard channel is FIFO, so rows for any
+        # *other* pending-seal segment of this shard are fully delivered
+        # once a newer segment's rows arrive — flush them now.
+        for (coll, sid), shard in list(self._pending_seals.items()):
+            if coll == record.collection and shard == record.shard \
+                    and sid != record.segment_id \
+                    and self.has_segment(coll, sid):
+                del self._pending_seals[(coll, sid)]
+                self.seal_and_flush(coll, sid, shard)
+
+    def _apply_delete(self, record: DeleteRecord) -> None:
+        remaining = set(record.pks)
+        for (collection, _sid), segment in self._growing.items():
+            if collection != record.collection or not remaining:
+                continue
+            hit = [pk for pk in remaining if segment.contains_pk(pk)]
+            if hit:
+                segment.apply_delete(hit, record.ts)
+                remaining -= set(hit)
+        if remaining:
+            buffer = self._delta_buffer.setdefault(
+                (record.collection, record.shard), [])
+            buffer.extend((pk, record.ts) for pk in remaining)
+
+    def flush_delta_logs(self) -> None:
+        """Persist buffered sealed-segment deletions (periodic event)."""
+        for (collection, shard), entries in self._delta_buffer.items():
+            write_delete_delta(self._store, collection, shard, entries)
+        self._delta_buffer = {}
+
+    # ------------------------------------------------------------------
+    # sealing & flushing
+    # ------------------------------------------------------------------
+
+    def has_segment(self, collection: str, segment_id: str) -> bool:
+        return (collection, segment_id) in self._growing
+
+    #: quiescence window before a pending seal is flushed (must exceed
+    #: the broker's delivery delay by a wide margin)
+    SEAL_SETTLE_MS = 10.0
+
+    def handle_seal(self, collection: str, segment_id: str,
+                    shard: int, _retries: int = 0) -> None:
+        """React to a seal decision for a shard this node archives.
+
+        Seal messages travel on the coordination channel and are published
+        by the allocator *before* the logger publishes the rows that fill
+        the segment, so they routinely overtake those rows.  Flushing
+        immediately would persist a partial binlog and strand the late
+        rows; instead the seal is parked and resolved by either
+
+        * the **rotation signal** in :meth:`_apply_insert` — the shard
+          channel is FIFO, so a row for a *newer* segment proves the
+          sealed one is complete; or
+        * this **quiescence retry**: the segment is flushed once no row
+          has arrived for it for :data:`SEAL_SETTLE_MS`.
+        """
+        channel = shard_channel(collection, shard)
+        if channel not in self._subs:
+            return  # another data node archives this shard
+        key = (collection, segment_id)
+        self._pending_seals[key] = shard
+        self._loop.call_after(
+            self.SEAL_SETTLE_MS,
+            lambda: self._retry_seal(collection, segment_id, shard,
+                                     _retries + 1),
+            name=f"seal-retry:{segment_id}")
+
+    def _retry_seal(self, collection: str, segment_id: str, shard: int,
+                    retries: int) -> None:
+        key = (collection, segment_id)
+        if key not in self._pending_seals:
+            return  # already flushed via the rotation signal
+        segment = self._growing.get(key)
+        quiet = (segment is not None
+                 and self._loop.now() - segment.last_insert_at_ms
+                 >= self.SEAL_SETTLE_MS * 0.5)
+        if quiet:
+            del self._pending_seals[key]
+            self.seal_and_flush(collection, segment_id, shard)
+            return
+        if retries >= 200:
+            # The rows never arrived (lost upstream); flush what exists.
+            del self._pending_seals[key]
+            if segment is not None:
+                self.seal_and_flush(collection, segment_id, shard)
+            return
+        self._loop.call_after(
+            self.SEAL_SETTLE_MS,
+            lambda: self._retry_seal(collection, segment_id, shard,
+                                     retries + 1),
+            name=f"seal-retry:{segment_id}")
+
+    def seal_and_flush(self, collection: str, segment_id: str,
+                       shard: int) -> Optional[str]:
+        """Convert a growing segment to a binlog; returns the segment id.
+
+        The ``segment_flushed`` announcement is published after the virtual
+        write duration, so downstream indexing starts at the correct time.
+        """
+        key = (collection, segment_id)
+        segment = self._growing.pop(key, None)
+        if segment is None or segment.num_rows == 0:
+            return None
+        segment.seal()
+        pks, columns, max_lsn = segment.flush_payload()
+        # Drop rows deleted while growing so the binlog holds live data.
+        deleted = segment.deleted_mask()
+        if deleted.any():
+            keep = [i for i in range(len(pks)) if not deleted[i]]
+            pks = [pks[i] for i in keep]
+            columns = {name: _take(values, keep)
+                       for name, values in columns.items()}
+        if not pks:
+            return None
+        manifest = self._writer.write_segment(collection, segment_id, pks,
+                                              columns, max_lsn)
+        self.segments_flushed += 1
+        write_ms = self._cost.object_write(
+            sum(_nbytes(v) for v in columns.values()))
+        channel_offset = self._channel_offsets.get(
+            shard_channel(collection, shard), 0)
+
+        def announce() -> None:
+            self._broker.publish(self._config.log.coord_channel, CoordRecord(
+                ts=max_lsn, kind_name="segment_flushed", payload={
+                    "collection": collection,
+                    "segment_id": segment_id,
+                    "shard": shard,
+                    "num_rows": manifest.num_rows,
+                    "max_lsn": max_lsn,
+                    "channel_offset": channel_offset,
+                    "data_node": self.name,
+                }))
+
+        self._loop.call_after(write_ms, announce,
+                              name=f"flush:{segment_id}")
+        return segment_id
+
+    def growing_segments(self) -> list[tuple[str, str, int]]:
+        """(collection, segment_id, rows) of in-memory growing segments."""
+        return sorted((c, s, seg.num_rows)
+                      for (c, s), seg in self._growing.items())
+
+
+def _take(values, keep: list[int]):
+    if isinstance(values, np.ndarray):
+        return values[keep]
+    return [values[i] for i in keep]
+
+
+def _nbytes(values) -> int:
+    if isinstance(values, np.ndarray):
+        return values.nbytes
+    return sum(len(str(v)) for v in values)

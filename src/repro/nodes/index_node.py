@@ -1,0 +1,133 @@
+"""Index nodes: build indexes for sealed segments (Section 3.5).
+
+An index node receives a build task from the index coordinator, loads only
+the required vector column from the segment's binlog ("to avoid read
+amplification"), builds the index, persists the blob to the object store,
+and announces ``index_built`` on the coordination channel at the task's
+virtual completion time — queueing delay plus read latency plus a build
+duration from the cost model.  Figure 13 (build time vs data volume) and
+Figure 6 (index backlog under write/index contention) both emerge from
+this mechanism.
+
+``busy_until_ms`` makes an index node a serial resource: tasks submitted
+while it is busy complete later, which is exactly the contention Figure 6
+demonstrates for Milvus's single combined write/index node.  Because
+sealed segments are immutable, the numpy build itself runs eagerly at
+submission; only its *announcement* is deferred to the virtual completion
+time.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.config import ManuConfig
+from repro.core.schema import MetricType
+from repro.index.base import VectorIndex, create_index
+from repro.log.binlog import BinlogReader
+from repro.log.broker import LogBroker
+from repro.log.wal import CoordRecord
+from repro.sim.costmodel import CostModel
+from repro.sim.events import EventLoop
+from repro.storage.object_store import ObjectStore
+
+
+def index_blob_key(collection: str, segment_id: str, field: str) -> str:
+    return f"index/{collection}/{segment_id}/{field}.idx"
+
+
+def estimate_build_ms(cost: CostModel, index_type: str, n: int, dim: int,
+                      params: Mapping) -> float:
+    """Virtual build duration for an index build task."""
+    index_type = index_type.upper()
+    if index_type in ("HNSW", "NSG", "NGT", "IVF_HNSW"):
+        ef = int(params.get("ef_construction", params.get("knn", 64)))
+        return cost.graph_build(n, dim, ef=ef)
+    if index_type in ("IVF_FLAT", "IVF_SQ8", "IMI", "SSD"):
+        nlist = int(params.get("nlist", 128))
+        return cost.kmeans_build(n, nlist, dim)
+    if index_type in ("IVF_PQ", "PQ", "OPQ", "RQ"):
+        nlist = int(params.get("nlist", 128))
+        m = int(params.get("m", 8))
+        return (cost.kmeans_build(n, nlist, dim)
+                + cost.kmeans_build(n, 256, dim // max(m, 1)) * m)
+    return cost.distance_cost(n, dim)  # FLAT and friends: one pass
+
+
+class IndexNode:
+    """One index-building worker."""
+
+    def __init__(self, name: str, loop: EventLoop, broker: LogBroker,
+                 store: ObjectStore, config: ManuConfig,
+                 cost_model: CostModel) -> None:
+        self.name = name
+        self._loop = loop
+        self._broker = broker
+        self._store = store
+        self._config = config
+        self._cost = cost_model
+        self._reader = BinlogReader(store)
+        self.busy_until_ms = 0.0
+        self.builds_completed = 0
+        self.alive = True
+
+    def queue_depth_ms(self) -> float:
+        """Virtual time until this node is free (scheduling signal)."""
+        return max(0.0, self.busy_until_ms - self._loop.now())
+
+    def submit_build(self, collection: str, segment_id: str, field: str,
+                     index_type: str, metric: MetricType,
+                     params: Optional[Mapping] = None) -> float:
+        """Build an index for one segment; returns virtual completion time."""
+        if not self.alive:
+            raise RuntimeError(f"index node {self.name} is shut down")
+        params = dict(params or {})
+        manifest = self._reader.read_manifest(collection, segment_id)
+        vectors = np.asarray(
+            self._reader.read_field(collection, segment_id, field),
+            dtype=np.float32)
+
+        index = create_index(index_type, metric, vectors.shape[1], **params)
+        index.build(vectors)
+        key = index_blob_key(collection, segment_id, field)
+        self._store.put(key, index.to_bytes())
+        self.builds_completed += 1
+
+        start_ms = max(self._loop.now(), self.busy_until_ms)
+        read_ms = self._cost.object_read(vectors.nbytes)
+        build_ms = estimate_build_ms(self._cost, index_type,
+                                     vectors.shape[0], vectors.shape[1],
+                                     params)
+        done_ms = start_ms + read_ms + build_ms
+        self.busy_until_ms = done_ms
+
+        def announce() -> None:
+            if not self.alive:
+                return
+            self._broker.publish(self._config.log.coord_channel, CoordRecord(
+                ts=0, kind_name="index_built", payload={
+                    "collection": collection,
+                    "segment_id": segment_id,
+                    "field": field,
+                    "index_type": index.index_type,
+                    "num_rows": manifest.num_rows,
+                    "path": key,
+                    "index_node": self.name,
+                }))
+
+        self._loop.call_at(done_ms, announce,
+                           name=f"index-done:{segment_id}/{field}")
+        return done_ms
+
+    def load_index(self, collection: str, segment_id: str,
+                   field: str) -> VectorIndex:
+        """Fetch a previously built index blob (helper for tests)."""
+        from repro.index.base import index_from_bytes
+        raw = self._store.get(index_blob_key(collection, segment_id, field))
+        return index_from_bytes(raw)
+
+    def shutdown(self) -> None:
+        """Stop accepting/announcing work (idle-node cost saving)."""
+        self.alive = False

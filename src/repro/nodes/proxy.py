@@ -1,0 +1,415 @@
+"""Proxies: stateless user endpoints (Section 3.2).
+
+Proxies validate requests against a cached copy of the metadata (rejecting
+bad requests early), route inserts/deletes to the loggers and searches to
+the query nodes holding the collection's segments, and aggregate partial
+search results into the global top-k.
+
+The proxy is also the *session* for session consistency: it remembers the
+timestamp of the session's last write so ``ConsistencyLevel.SESSION``
+queries read their own writes.
+
+Timing: the proxy computes each request's virtual latency from rpc hops,
+the delta-consistency wait (driving the event loop until every involved
+query node's watermark passes the guarantee timestamp), per-node queueing
+(``busy_until_ms``) and the cost-model service time of the measured search
+work.  This is where the cluster's end-to-end latency numbers come from.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.config import ManuConfig
+from repro.core.consistency import ConsistencyLevel, guarantee_ts
+from repro.core.entity import validate_batch
+from repro.core.expr import Const, Compare, Field, FilterExpression, InList
+from repro.core.multivector import MultiVectorQuery
+from repro.core.results import SearchHit, SearchResult, merge_topk
+from repro.core.schema import MetricType
+from repro.core.tso import TimestampOracle
+from repro.errors import CollectionNotFound, ConsistencyTimeout, ManuError
+from repro.log.logger_node import LoggerService
+from repro.monitoring.metrics import MetricsRegistry
+from repro.sim.costmodel import CostModel
+from repro.sim.events import EventLoop
+
+
+class PendingSearch:
+    """Handle for a search submitted to a proxy batch (future-like)."""
+
+    __slots__ = ("result",)
+
+    def __init__(self) -> None:
+        self.result: Optional[SearchResult] = None
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+
+class Proxy:
+    """One access-layer endpoint."""
+
+    def __init__(self, name: str, loop: EventLoop, tso: TimestampOracle,
+                 config: ManuConfig, cost_model: CostModel,
+                 logger_service: LoggerService, root_coord, query_coord,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.name = name
+        self._loop = loop
+        self._tso = tso
+        self._config = config
+        self._cost = cost_model
+        self._loggers = logger_service
+        self._root = root_coord
+        self._query_coord = query_coord
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._session_ts = 0
+        # Request batching (Section 3.6): same-typed searches accumulated
+        # within the configured window, executed as one batch.
+        self._batches: dict[tuple, list[tuple[np.ndarray,
+                                              PendingSearch]]] = {}
+        self.batches_flushed = 0
+
+    # ------------------------------------------------------------------
+    # metadata verification
+    # ------------------------------------------------------------------
+
+    def _schema(self, collection: str):
+        """Cached-metadata verification: reject unknown collections early."""
+        schema = self._root.get_schema(collection)
+        if schema is None:
+            raise CollectionNotFound(collection)
+        return schema
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def insert(self, collection: str, data: Mapping) -> tuple:
+        """Validate and publish an insert; returns the assigned pks."""
+        schema = self._schema(collection)
+        batch = validate_batch(schema, data)
+        ts = self._loggers.insert(collection, batch)
+        self._session_ts = max(self._session_ts, ts)
+        self.metrics.counter(f"proxy.{self.name}.inserts").inc(
+            batch.num_rows)
+        return batch.pks
+
+    def delete(self, collection: str, expr: str) -> int:
+        """Delete by primary-key expression; returns the deleted count.
+
+        Like Milvus 2.0, deletion expressions must address primary keys
+        directly (``pk in [1, 2]`` or ``pk == 3``).
+        """
+        schema = self._schema(collection)
+        pks = _extract_pks(FilterExpression(expr),
+                           schema.primary_field.name)
+        ts, deleted = self._loggers.delete(collection, tuple(pks))
+        self._session_ts = max(self._session_ts, ts)
+        self.metrics.counter(f"proxy.{self.name}.deletes").inc(deleted)
+        return deleted
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def search(self, collection: str, queries: np.ndarray, k: int,
+               field: Optional[str] = None,
+               metric: MetricType = MetricType.EUCLIDEAN,
+               expr: Optional[str] = None,
+               consistency: ConsistencyLevel = ConsistencyLevel.BOUNDED,
+               staleness_ms: float = 100.0,
+               at_ms: Optional[float] = None) -> list[SearchResult]:
+        """Global top-k search; one :class:`SearchResult` per query row."""
+        schema = self._schema(collection)
+        if field is None:
+            field = schema.default_vector_field().name
+        schema.field(field)  # validates existence
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        filter_expr = FilterExpression(expr) if expr else None
+
+        if at_ms is not None:
+            self._loop.run_until(at_ms)
+        issue_ms = self._loop.now()
+        issue_ts = self._tso.allocate_packed()
+        guarantee = guarantee_ts(consistency, issue_ts, staleness_ms,
+                                 self._session_ts)
+
+        plan = self._query_coord.search_plan(collection)
+        if not plan:
+            raise ManuError(
+                f"collection {collection!r} is not loaded on any query node")
+        nodes = [node for node, _scope in plan]
+
+        wait_ms = self._wait_for_consistency(collection, nodes, guarantee)
+        ready_ms = self._loop.now()
+
+        per_query_partials = [[] for _ in range(queries.shape[0])]
+        finish_times = []
+        segments_total = 0
+        for node, scope in plan:
+            start = max(ready_ms + self._cost.rpc_hop(), node.busy_until_ms)
+            hits, service_ms, searched = node.search(
+                collection, field, queries, k, metric, filter_expr,
+                scope=scope)
+            node.busy_until_ms = start + service_ms
+            finish_times.append(node.busy_until_ms)
+            segments_total += searched
+            for qi, node_hits in enumerate(hits):
+                per_query_partials[qi].append(node_hits)
+
+        merge_ms = self._cost.topk_merge_cost(len(nodes), k)
+        done_ms = max(finish_times) + merge_ms + self._cost.rpc_hop()
+        latency = done_ms - issue_ms
+
+        results = []
+        for parts in per_query_partials:
+            hits = merge_topk(parts, k)
+            results.append(SearchResult(
+                hits=hits, metric=metric, latency_ms=latency,
+                consistency_wait_ms=wait_ms,
+                segments_searched=segments_total))
+        self.metrics.latency("proxy.search_latency").record(
+            self._loop.now(), latency)
+        self.metrics.counter(f"proxy.{self.name}.searches").inc(
+            queries.shape[0])
+        return results
+
+    def search_multivector(self, collection: str, query: MultiVectorQuery,
+                           k: int,
+                           consistency: ConsistencyLevel =
+                           ConsistencyLevel.BOUNDED,
+                           staleness_ms: float = 100.0) -> SearchResult:
+        """Multi-vector entity search (Section 3.6)."""
+        self._schema(collection)
+        issue_ms = self._loop.now()
+        issue_ts = self._tso.allocate_packed()
+        guarantee = guarantee_ts(consistency, issue_ts, staleness_ms,
+                                 self._session_ts)
+        plan = self._query_coord.search_plan(collection)
+        if not plan:
+            raise ManuError(
+                f"collection {collection!r} is not loaded on any query node")
+        nodes = [node for node, _scope in plan]
+        wait_ms = self._wait_for_consistency(collection, nodes, guarantee)
+        ready_ms = self._loop.now()
+
+        partials = []
+        finish_times = []
+        segments_total = 0
+        for node, scope in plan:
+            start = max(ready_ms + self._cost.rpc_hop(), node.busy_until_ms)
+            hits, service_ms, searched = node.search_multivector(
+                collection, query, k, scope=scope)
+            node.busy_until_ms = start + service_ms
+            finish_times.append(node.busy_until_ms)
+            segments_total += searched
+            partials.append(hits)
+        merge_ms = self._cost.topk_merge_cost(len(nodes), k)
+        done_ms = max(finish_times) + merge_ms + self._cost.rpc_hop()
+        return SearchResult(hits=merge_topk(partials, k),
+                            metric=query.metric,
+                            latency_ms=done_ms - issue_ms,
+                            consistency_wait_ms=wait_ms,
+                            segments_searched=segments_total)
+
+    # ------------------------------------------------------------------
+    # point reads, upsert, range search
+    # ------------------------------------------------------------------
+
+    def get(self, collection: str, pks) -> dict:
+        """Fetch live entities' field values by primary key.
+
+        Returns pk -> {field: value} for found keys; missing keys are
+        omitted.  Served from the query nodes' live copies.
+        """
+        self._schema(collection)
+        out: dict = {}
+        for node, scope in self._query_coord.search_plan(collection):
+            del scope  # point reads hit any live copy; dedup via dict
+            out.update(node.fetch(collection, pks))
+        return out
+
+    def upsert(self, collection: str, data: Mapping) -> tuple:
+        """Delete-any-existing then insert (explicit-pk schemas only)."""
+        schema = self._schema(collection)
+        if schema.auto_id:
+            raise ManuError(
+                "upsert requires an explicit primary key schema")
+        batch = validate_batch(schema, data)
+        ts, _deleted = self._loggers.delete(collection, batch.pks)
+        self._session_ts = max(self._session_ts, ts)
+        ts = self._loggers.insert(collection, batch)
+        self._session_ts = max(self._session_ts, ts)
+        return batch.pks
+
+    def range_search(self, collection: str, query: np.ndarray,
+                     radius: float, field: Optional[str] = None,
+                     metric: MetricType = MetricType.EUCLIDEAN,
+                     expr: Optional[str] = None,
+                     consistency: ConsistencyLevel =
+                     ConsistencyLevel.BOUNDED,
+                     staleness_ms: float = 100.0,
+                     limit: Optional[int] = None) -> SearchResult:
+        """All entities within ``radius`` of the query (exact).
+
+        ``radius`` is expressed in the metric's own terms: a maximum L2
+        distance for Euclidean, a *minimum* similarity for inner product
+        and cosine.
+        """
+        schema = self._schema(collection)
+        if field is None:
+            field = schema.default_vector_field().name
+        schema.field(field)
+        if metric is MetricType.EUCLIDEAN:
+            if radius < 0:
+                raise ManuError("Euclidean radius must be non-negative")
+            threshold = float(radius) ** 2  # adjusted = squared L2
+        else:
+            threshold = -float(radius)      # adjusted = negated similarity
+        filter_expr = FilterExpression(expr) if expr else None
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+
+        issue_ms = self._loop.now()
+        issue_ts = self._tso.allocate_packed()
+        guarantee = guarantee_ts(consistency, issue_ts, staleness_ms,
+                                 self._session_ts)
+        plan = self._query_coord.search_plan(collection)
+        if not plan:
+            raise ManuError(
+                f"collection {collection!r} is not loaded on any query node")
+        wait_ms = self._wait_for_consistency(
+            collection, [n for n, _s in plan], guarantee)
+        ready_ms = self._loop.now()
+
+        merged: dict = {}
+        finish_times = []
+        for node, scope in plan:
+            start = max(ready_ms + self._cost.rpc_hop(), node.busy_until_ms)
+            hits, service_ms = node.range_search(
+                collection, field, query, threshold, metric,
+                expr=filter_expr, scope=scope)
+            node.busy_until_ms = start + service_ms
+            finish_times.append(node.busy_until_ms)
+            for hit in hits:
+                if hit.pk not in merged \
+                        or hit.adjusted_distance < merged[hit.pk]:
+                    merged[hit.pk] = hit.adjusted_distance
+        ordered = sorted(SearchHit(dist, pk)
+                         for pk, dist in merged.items())
+        if limit is not None:
+            ordered = ordered[:limit]
+        done_ms = max(finish_times) + self._cost.rpc_hop()
+        return SearchResult(hits=ordered, metric=metric,
+                            latency_ms=done_ms - issue_ms,
+                            consistency_wait_ms=wait_ms,
+                            segments_searched=len(plan))
+
+    # ------------------------------------------------------------------
+    # request batching (Section 3.6)
+    # ------------------------------------------------------------------
+
+    def submit_search(self, collection: str, query: np.ndarray, k: int,
+                      field: Optional[str] = None,
+                      metric: MetricType = MetricType.EUCLIDEAN,
+                      expr: Optional[str] = None,
+                      consistency: ConsistencyLevel =
+                      ConsistencyLevel.BOUNDED,
+                      staleness_ms: float = 100.0) -> PendingSearch:
+        """Queue one search into the batching window; returns a handle.
+
+        "Requests of the same type (i.e., target the same collection and
+        use the same similarity function) are organized into one batch and
+        handled by Manu together."  The batch flushes when the configured
+        ``batch_window_ms`` elapses; with batching disabled (window 0) the
+        search executes immediately.  Drive the event loop (or call
+        :meth:`flush_batches`) to resolve handles.
+        """
+        handle = PendingSearch()
+        query = np.asarray(query, dtype=np.float32).reshape(1, -1)
+        window = self._config.query.batch_window_ms
+        if window <= 0:
+            handle.result = self.search(
+                collection, query, k, field=field, metric=metric,
+                expr=expr, consistency=consistency,
+                staleness_ms=staleness_ms)[0]
+            return handle
+        key = (collection, field, metric, expr, consistency, staleness_ms,
+               k)
+        batch = self._batches.setdefault(key, [])
+        batch.append((query, handle))
+        if len(batch) == 1:
+            self._loop.call_after(window, lambda: self._flush_batch(key),
+                                  name=f"batch-flush:{collection}")
+        return handle
+
+    def _flush_batch(self, key: tuple) -> None:
+        batch = self._batches.pop(key, None)
+        if not batch:
+            return
+        (collection, field, metric, expr, consistency, staleness_ms,
+         k) = key
+        queries = np.concatenate([q for q, _h in batch], axis=0)
+        results = self.search(collection, queries, k, field=field,
+                              metric=metric, expr=expr,
+                              consistency=consistency,
+                              staleness_ms=staleness_ms)
+        for (_q, handle), result in zip(batch, results):
+            handle.result = result
+        self.batches_flushed += 1
+        self.metrics.counter(f"proxy.{self.name}.batched_searches").inc(
+            len(batch))
+
+    def flush_batches(self) -> int:
+        """Force-flush all pending batches; returns requests flushed."""
+        flushed = 0
+        for key in list(self._batches):
+            flushed += len(self._batches.get(key, ()))
+            self._flush_batch(key)
+        return flushed
+
+    def _wait_for_consistency(self, collection: str, nodes: Sequence,
+                              guarantee: int) -> float:
+        """Drive the loop until every node's watermark passes the guarantee.
+
+        Returns the virtual wait duration; raises
+        :class:`ConsistencyTimeout` past the configured deadline.
+        """
+        start_ms = self._loop.now()
+        deadline = start_ms + self._config.query.consistency_deadline_ms
+        while True:
+            pending = [n for n in nodes if not n.ready(collection, guarantee)]
+            if not pending:
+                return self._loop.now() - start_ms
+            nxt = self._loop.peek_time()
+            if nxt is None or nxt > deadline:
+                raise ConsistencyTimeout(
+                    f"nodes {[n.name for n in pending]} did not reach "
+                    f"guarantee ts within "
+                    f"{self._config.query.consistency_deadline_ms}ms")
+            self._loop.step()
+
+
+def _extract_pks(expr: FilterExpression, pk_field: str) -> list:
+    """Primary keys addressed by a delete expression."""
+    ast = expr.ast
+    if isinstance(ast, InList) and isinstance(ast.operand, Field) \
+            and ast.operand.name == pk_field and not ast.negated:
+        return list(ast.items)
+    if isinstance(ast, Compare) and len(ast.operands) == 2 \
+            and ast.ops == ("==",):
+        left, right = ast.operands
+        if isinstance(left, Field) and left.name == pk_field \
+                and isinstance(right, Const):
+            return [right.value]
+        if isinstance(right, Field) and right.name == pk_field \
+                and isinstance(left, Const):
+            return [left.value]
+    raise ManuError(
+        "delete expressions must address the primary key, e.g. "
+        f"'{pk_field} in [1, 2]' or '{pk_field} == 3' (got {expr.text!r})")

@@ -1,0 +1,370 @@
+"""Query nodes: serve vector search (Section 3.6).
+
+A query node draws data from the three sources the paper lists:
+
+* the **WAL** — for shard channels the node *owns* it materializes growing
+  segments (with temporary slice indexes) so fresh inserts are searchable
+  within one log-delivery delay; from channels it does not own it consumes
+  only deletions and time-ticks (deletions may target sealed segments it
+  hosts, and ticks drive the consistency gate);
+* **index files** — sealed-segment indexes built by index nodes, loaded
+  from the object store and attached to the local segment copy;
+* the **binlog** — sealed segments assigned by the query coordinator are
+  loaded column-by-column from the object store.
+
+Search runs the node-local phase of the two-phase reduce: segment-wise
+top-k (honoring deletion bitmaps and attribute filters via the cost-based
+strategy), merged into the node-wise top-k.  ``busy_until_ms`` accounting
+turns concurrent requests into queueing delay, which is what the
+elasticity and scalability figures measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import ManuConfig
+from repro.core.consistency import ConsistencyGate
+from repro.core.expr import FilterExpression
+from repro.core.filtering import FilterStrategy, filtered_search
+from repro.core.multivector import MultiVectorQuery, search_segment
+from repro.core.results import SearchHit, hits_from_arrays, merge_topk
+from repro.core.schema import CollectionSchema, MetricType
+from repro.core.segment import Segment
+from repro.errors import ClusterStateError
+from repro.index.base import SearchStats, index_from_bytes
+from repro.log.binlog import BinlogReader
+from repro.log.broker import LogBroker, LogEntry, Subscription
+from repro.log.wal import (
+    DeleteRecord,
+    InsertRecord,
+    TimeTickRecord,
+)
+from repro.sim.costmodel import CostModel
+from repro.sim.events import EventLoop
+from repro.storage.object_store import ObjectStore
+
+
+class QueryNode:
+    """One search worker."""
+
+    def __init__(self, name: str, loop: EventLoop, broker: LogBroker,
+                 store: ObjectStore, config: ManuConfig,
+                 cost_model: CostModel, schema_provider) -> None:
+        self.name = name
+        self._loop = loop
+        self._broker = broker
+        self._store = store
+        self._config = config
+        self._cost = cost_model
+        self._schema_provider = schema_provider
+        self._reader = BinlogReader(store)
+
+        self._subs: dict[str, Subscription] = {}
+        self._owned_channels: set[str] = set()
+        # (collection, segment_id) -> Segment; growing and sealed together.
+        self._segments: dict[tuple[str, str], Segment] = {}
+        self._growing_ids: set[tuple[str, str]] = set()
+        self._gates: dict[str, ConsistencyGate] = {}  # per collection
+        # Deletions seen per collection: pk -> ts (applied to late loads).
+        self._seen_deletes: dict[str, dict] = {}
+        self.busy_until_ms = 0.0
+        self.searches_served = 0
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # log consumption
+    # ------------------------------------------------------------------
+
+    def subscribe(self, collection: str, channel: str, owned: bool,
+                  from_offset: int = 0) -> None:
+        """Consume one WAL shard channel.
+
+        ``owned`` channels materialize growing segments; non-owned channels
+        contribute only deletions and the consistency watermark.
+        """
+        if channel in self._subs:
+            if owned:
+                self._owned_channels.add(channel)
+            return
+        if owned:
+            self._owned_channels.add(channel)
+        self._gates.setdefault(collection, ConsistencyGate())
+        self._subs[channel] = self._broker.subscribe(
+            channel, f"query-node:{self.name}", from_offset,
+            callback=lambda entry, c=collection: self._on_entry(c, entry))
+
+    def unsubscribe(self, channel: str) -> None:
+        sub = self._subs.pop(channel, None)
+        self._owned_channels.discard(channel)
+        if sub is not None:
+            sub.cancel()
+
+    @property
+    def owned_channels(self) -> set[str]:
+        return set(self._owned_channels)
+
+    def _on_entry(self, collection: str, entry: LogEntry) -> None:
+        if not self.alive:
+            return
+        record = entry.payload
+        gate = self._gates.setdefault(collection, ConsistencyGate())
+        if isinstance(record, TimeTickRecord):
+            gate.observe_tick(record.ts)
+            return
+        gate.observe(record.ts)
+        if isinstance(record, InsertRecord):
+            if entry.channel in self._owned_channels:
+                self._apply_insert(record)
+        elif isinstance(record, DeleteRecord):
+            self._apply_delete(collection, record)
+
+    def _apply_insert(self, record: InsertRecord) -> None:
+        key = (record.collection, record.segment_id)
+        if key not in self._segments:
+            schema: CollectionSchema = self._schema_provider(
+                record.collection)
+            segment = Segment(record.segment_id, record.collection, schema,
+                              self._config.segment)
+            segment.temp_index_enabled = \
+                self._config.segment.enable_temp_index
+            self._segments[key] = segment
+            self._growing_ids.add(key)
+        self._segments[key].append(list(record.pks), dict(record.columns),
+                                   record.ts, now_ms=self._loop.now())
+
+    def _apply_delete(self, collection: str, record: DeleteRecord) -> None:
+        history = self._seen_deletes.setdefault(collection, {})
+        for pk in record.pks:
+            history[pk] = record.ts
+        for (coll, _sid), segment in self._segments.items():
+            if coll == collection:
+                segment.apply_delete(record.pks, record.ts)
+
+    # ------------------------------------------------------------------
+    # segment management
+    # ------------------------------------------------------------------
+
+    def load_segment(self, collection: str, segment_id: str) -> float:
+        """Load a sealed segment from its binlog; returns load duration.
+
+        Deletions consumed before the load are re-applied so late loads
+        converge with live copies.
+        """
+        key = (collection, segment_id)
+        if key in self._segments and key not in self._growing_ids:
+            return 0.0
+        manifest = self._reader.read_manifest(collection, segment_id)
+        columns = self._reader.read_fields(collection, segment_id,
+                                           manifest.fields)
+        schema: CollectionSchema = self._schema_provider(collection)
+        segment = Segment(segment_id, collection, schema,
+                          self._config.segment)
+        segment.temp_index_enabled = False  # sealed data gets real indexes
+        segment.append(list(manifest.pks), columns, manifest.max_lsn)
+        segment.seal()
+        history = self._seen_deletes.get(collection, {})
+        late = [pk for pk, ts in history.items() if ts > manifest.max_lsn]
+        if late:
+            segment.apply_delete(late, max(history[pk] for pk in late))
+        # Deletions that predate this node's log subscription live in the
+        # persisted delete-delta logs (WAL retention may have dropped
+        # them); re-apply any newer than the binlog's progress.
+        from repro.core.checkpoint import read_delete_deltas
+        for pk, ts in read_delete_deltas(self._store, collection):
+            if ts > manifest.max_lsn:
+                segment.apply_delete([pk], ts)
+        self._segments[key] = segment
+        self._growing_ids.discard(key)
+        nbytes = sum(v.nbytes if isinstance(v, np.ndarray)
+                     else sum(len(str(x)) for x in v)
+                     for v in columns.values())
+        return self._cost.object_read(nbytes)
+
+    def release_segment(self, collection: str, segment_id: str) -> bool:
+        """Drop a segment copy (handoff done, rebalance, or release)."""
+        removed = self._segments.pop((collection, segment_id), None)
+        self._growing_ids.discard((collection, segment_id))
+        return removed is not None
+
+    def attach_index(self, collection: str, segment_id: str, field: str,
+                     path: str) -> float:
+        """Load an index blob and attach it; returns load duration."""
+        key = (collection, segment_id)
+        segment = self._segments.get(key)
+        if segment is None:
+            raise ClusterStateError(
+                f"{self.name} does not hold segment {segment_id}")
+        raw = self._store.get(path)
+        index = index_from_bytes(raw)
+        segment.attach_index(field, index)
+        return self._cost.object_read(len(raw))
+
+    def segments_of(self, collection: str) -> list[str]:
+        return sorted(sid for (coll, sid) in self._segments
+                      if coll == collection)
+
+    def sealed_segments_of(self, collection: str) -> list[str]:
+        return sorted(sid for (coll, sid) in self._segments
+                      if coll == collection
+                      and (coll, sid) not in self._growing_ids)
+
+    def segment(self, collection: str, segment_id: str) -> Optional[Segment]:
+        return self._segments.get((collection, segment_id))
+
+    def num_rows(self, collection: Optional[str] = None) -> int:
+        return sum(seg.num_rows for (coll, _), seg in self._segments.items()
+                   if collection is None or coll == collection)
+
+    def memory_bytes(self) -> int:
+        return sum(seg.memory_bytes() for seg in self._segments.values())
+
+    # ------------------------------------------------------------------
+    # consistency
+    # ------------------------------------------------------------------
+
+    def gate(self, collection: str) -> ConsistencyGate:
+        return self._gates.setdefault(collection, ConsistencyGate())
+
+    def ready(self, collection: str, guarantee_ts: int) -> bool:
+        return self.gate(collection).ready(guarantee_ts)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def _in_scope(self, key: tuple[str, str],
+                  scope: Optional[set[str]]) -> bool:
+        """Whether a local segment participates in a scoped search.
+
+        ``scope`` is the proxy's replica plan: the sealed segment ids this
+        node should cover (None = everything).  Growing segments are
+        always in scope — they exist only on their channel's owner.
+        """
+        if scope is None or key in self._growing_ids:
+            return True
+        return key[1] in scope
+
+    def search(self, collection: str, field: str, queries: np.ndarray,
+               k: int, metric: MetricType,
+               expr: Optional[FilterExpression] = None,
+               forced_strategy: Optional[FilterStrategy] = None,
+               scope: Optional[set[str]] = None,
+               ) -> tuple[list[list[SearchHit]], float, int]:
+        """Node-local two-phase reduce.
+
+        Returns (per-query node-wise top-k hits, virtual service duration
+        from the cost model, number of segments searched).
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        stats = SearchStats()
+        per_query_partials: list[list[list[SearchHit]]] = [
+            [] for _ in range(queries.shape[0])]
+        searched = 0
+        for (coll, _sid), segment in sorted(self._segments.items()):
+            if coll != collection or segment.num_rows == 0:
+                continue
+            if not self._in_scope((coll, _sid), scope):
+                continue
+            results, _plan = filtered_search(segment, field, queries, k,
+                                             metric, expr, stats=stats,
+                                             forced=forced_strategy)
+            searched += 1
+            for qi, (pks, dists) in enumerate(results):
+                if pks:
+                    per_query_partials[qi].append(
+                        hits_from_arrays(pks, dists))
+        merged = [merge_topk(parts, k) for parts in per_query_partials]
+        service_ms = self.service_time_ms(stats, queries.shape[0])
+        self.searches_served += queries.shape[0]
+        return merged, service_ms, searched
+
+    def search_multivector(self, collection: str, query: MultiVectorQuery,
+                           k: int, scope: Optional[set[str]] = None,
+                           ) -> tuple[list[SearchHit], float, int]:
+        """Node-local multi-vector search (single query vector set)."""
+        stats = SearchStats()
+        partials: list[list[SearchHit]] = []
+        searched = 0
+        for (coll, _sid), segment in sorted(self._segments.items()):
+            if coll != collection or segment.num_rows == 0:
+                continue
+            if not self._in_scope((coll, _sid), scope):
+                continue
+            pks, dists = search_segment(segment, query, k, stats=stats)
+            searched += 1
+            if pks:
+                partials.append(hits_from_arrays(pks, dists))
+        merged = merge_topk(partials, k)
+        return merged, self.service_time_ms(stats, 1), searched
+
+    def range_search(self, collection: str, field: str, query: np.ndarray,
+                     threshold: float, metric: MetricType,
+                     expr: Optional[FilterExpression] = None,
+                     scope: Optional[set[str]] = None,
+                     ) -> tuple[list[SearchHit], float]:
+        """All local rows within the adjusted-distance threshold."""
+        from repro.core.filtering import compute_mask
+        stats = SearchStats()
+        hits: list[SearchHit] = []
+        for (coll, _sid), segment in sorted(self._segments.items()):
+            if coll != collection or segment.num_rows == 0:
+                continue
+            if not self._in_scope((coll, _sid), scope):
+                continue
+            mask = compute_mask(segment, expr) if expr is not None else None
+            pks, dists = segment.range_search(field, query, threshold,
+                                              metric, filter_mask=mask,
+                                              stats=stats)
+            hits.extend(SearchHit(float(d), pk)
+                        for pk, d in zip(pks, dists))
+        hits.sort()
+        return hits, self.service_time_ms(stats, 1)
+
+    def fetch(self, collection: str, pks) -> dict:
+        """Field values for the given pks held live on this node."""
+        out: dict = {}
+        for (coll, _sid), segment in sorted(self._segments.items()):
+            if coll != collection:
+                continue
+            out.update(segment.fetch_rows(pks))
+        return out
+
+    def service_time_ms(self, stats: SearchStats, nq: int) -> float:
+        """Virtual execution time of measured search work on this node.
+
+        The fixed message overhead is paid once per (possibly batched)
+        request plus a small per-row term — the amortization that makes
+        Section 3.6's request batching worthwhile.
+        """
+        dim = self._probe_dim()
+        return (self._cost.distance_cost(stats.float_comparisons, dim)
+                + self._cost.distance_cost(stats.quantized_comparisons, dim,
+                                           quantized=True)
+                + self._cost.ssd_read(stats.ssd_blocks_read)
+                + self._cost.request_overhead_ms
+                + nq * self._cost.batch_row_overhead_ms)
+
+    def _probe_dim(self) -> int:
+        for segment in self._segments.values():
+            fields = segment.schema.vector_fields
+            if fields:
+                return fields[0].dim
+        return 64
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Simulate a crash: stop consuming and drop all state."""
+        self.alive = False
+        for channel in list(self._subs):
+            self.unsubscribe(channel)
+        self._segments.clear()
+        self._growing_ids.clear()
+        self._gates.clear()

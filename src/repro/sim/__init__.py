@@ -1,0 +1,19 @@
+"""Discrete-event simulation substrate.
+
+The whole cluster runs on a virtual clock so that every timing experiment in
+the paper (mixed workloads, elasticity, consistency waits) is deterministic
+and host-independent.  The substrate has three parts:
+
+* :mod:`repro.sim.clock` — the virtual clock;
+* :mod:`repro.sim.events` — the event loop scheduling callbacks at virtual
+  times, with stable FIFO ordering for simultaneous events;
+* :mod:`repro.sim.costmodel` — maps operations (distance computations, object
+  store reads, index builds) to virtual durations, calibrated against real
+  numpy kernel measurements.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventLoop, Event
+from repro.sim.costmodel import CostModel
+
+__all__ = ["VirtualClock", "EventLoop", "Event", "CostModel"]

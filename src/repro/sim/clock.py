@@ -1,0 +1,40 @@
+"""Virtual clock for deterministic timing experiments.
+
+All components of the cluster read time from a :class:`VirtualClock` instead
+of the wall clock.  Time is a float in *milliseconds* since cluster start.
+Only the event loop (or a test) may advance it, and it can never go backwards.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock measured in milliseconds."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now_ms = float(start_ms)
+
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now_ms
+
+    def advance_to(self, t_ms: float) -> None:
+        """Jump forward to an absolute virtual time.
+
+        Raises ``ValueError`` on an attempt to move backwards, which would
+        indicate an event-ordering bug.
+        """
+        if t_ms < self._now_ms:
+            raise ValueError(
+                f"clock cannot go backwards: {t_ms} < {self._now_ms}"
+            )
+        self._now_ms = float(t_ms)
+
+    def advance_by(self, delta_ms: float) -> None:
+        """Move forward by a relative amount of virtual time."""
+        if delta_ms < 0:
+            raise ValueError(f"negative clock delta: {delta_ms}")
+        self._now_ms += float(delta_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now_ms:.3f}ms)"

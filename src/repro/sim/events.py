@@ -1,0 +1,156 @@
+"""Discrete-event loop driving the virtual-time cluster.
+
+The loop is a priority queue of ``(time, sequence, callback)`` entries.  The
+sequence number makes simultaneous events fire in scheduling order, which
+keeps every run fully deterministic.  Events can be cancelled (for example a
+segment's idle-seal timer is cancelled when a new insert arrives) and
+periodic events reschedule themselves until cancelled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.sim.clock import VirtualClock
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time_ms", "seq", "callback", "cancelled", "name")
+
+    def __init__(self, time_ms: float, seq: int, callback: Callable[[], None],
+                 name: str = "") -> None:
+        self.time_ms = time_ms
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.name = name
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing; safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_ms, self.seq) < (other.time_ms, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event({self.name or 'anon'}@{self.time_ms:.3f}ms, {state})"
+
+
+class EventLoop:
+    """Virtual-time event loop.
+
+    ``run_until(t)`` executes every pending event with time <= ``t`` and then
+    advances the clock to exactly ``t``; ``run_until_idle()`` drains the queue
+    entirely.  Callbacks may schedule further events.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._executed = 0
+
+    @property
+    def executed_events(self) -> int:
+        """Total number of callbacks executed so far (for tests/metrics)."""
+        return self._executed
+
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self.clock.now()
+
+    def call_at(self, t_ms: float, callback: Callable[[], None],
+                name: str = "") -> Event:
+        """Schedule ``callback`` to fire at absolute virtual time ``t_ms``.
+
+        Scheduling in the past is clamped to *now* (the event fires on the
+        next pump) rather than raising, because distributed components often
+        react to messages whose logical timestamp already passed.
+        """
+        t_ms = max(t_ms, self.clock.now())
+        event = Event(t_ms, next(self._seq), callback, name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_after(self, delay_ms: float, callback: Callable[[], None],
+                   name: str = "") -> Event:
+        """Schedule ``callback`` to fire ``delay_ms`` from now."""
+        if delay_ms < 0:
+            raise ValueError(f"negative delay: {delay_ms}")
+        return self.call_at(self.clock.now() + delay_ms, callback, name)
+
+    def call_every(self, interval_ms: float, callback: Callable[[], None],
+                   name: str = "", start_delay_ms: Optional[float] = None,
+                   ) -> Event:
+        """Schedule ``callback`` periodically until the handle is cancelled.
+
+        Returns a handle whose ``cancel()`` stops the recurrence.  The handle
+        stays valid across firings (internally the chain reschedules itself
+        but honours the original handle's cancelled flag).
+        """
+        if interval_ms <= 0:
+            raise ValueError(f"non-positive interval: {interval_ms}")
+        first_delay = interval_ms if start_delay_ms is None else start_delay_ms
+        handle = Event(self.clock.now() + first_delay, next(self._seq),
+                       lambda: None, name)
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            callback()
+            if not handle.cancelled:
+                self.call_after(interval_ms, fire, name)
+
+        self.call_at(self.clock.now() + first_delay, fire, name)
+        return handle
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next pending event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time_ms if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the single next pending event; returns False when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time_ms)
+            event.callback()
+            self._executed += 1
+            return True
+        return False
+
+    def run_until(self, t_ms: float) -> None:
+        """Run every event scheduled up to ``t_ms`` then land on ``t_ms``."""
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > t_ms:
+                break
+            self.step()
+        self.clock.advance_to(max(t_ms, self.clock.now()))
+
+    def run_for(self, delta_ms: float) -> None:
+        """Run the loop forward by ``delta_ms`` of virtual time."""
+        self.run_until(self.clock.now() + delta_ms)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        ``max_events`` guards against runaway self-rescheduling loops (a
+        periodic event must be cancelled before calling this).
+        """
+        count = 0
+        while count < max_events and self.step():
+            count += 1
+        if count >= max_events and self.peek_time() is not None:
+            raise RuntimeError(
+                "run_until_idle exceeded max_events; "
+                "a periodic event is probably still scheduled")
+        return count

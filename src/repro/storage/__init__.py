@@ -1,0 +1,24 @@
+"""Storage substrates (Section 3.2 storage layer).
+
+* :mod:`repro.storage.object_store` — an S3/MinIO-like object store with
+  in-memory and local-filesystem backends plus a latency model hook;
+* :mod:`repro.storage.metastore` — an etcd-like MVCC key-value store with
+  revisions, compare-and-swap and watches, hosting coordinator metadata;
+* :mod:`repro.storage.lsm` — the log-structured merge tree the loggers use
+  for the entity-id -> segment-id mapping (RocksDB-SSTable style);
+* :mod:`repro.storage.bloom` — bloom filters guarding SSTable lookups.
+"""
+
+from repro.storage.object_store import ObjectStore, MemoryBackend, FsBackend
+from repro.storage.metastore import MetaStore
+from repro.storage.lsm import LsmTree
+from repro.storage.bloom import BloomFilter
+
+__all__ = [
+    "ObjectStore",
+    "MemoryBackend",
+    "FsBackend",
+    "MetaStore",
+    "LsmTree",
+    "BloomFilter",
+]

@@ -1,0 +1,89 @@
+"""Bloom filter used to guard SSTable point lookups.
+
+A standard k-hash bloom filter over a fixed bit array.  Hashes are derived
+from two independent 64-bit hashes combined linearly (Kirsch-Mitzenmacher),
+which is the construction RocksDB uses.  The filter guarantees no false
+negatives; the false-positive rate follows the usual ``(1 - e^{-kn/m})^k``
+formula and is sized from a target rate at construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+
+def _hash_pair(key: bytes) -> tuple[int, int]:
+    digest = hashlib.blake2b(key, digest_size=16).digest()
+    return (int.from_bytes(digest[:8], "little"),
+            int.from_bytes(digest[8:], "little"))
+
+
+class BloomFilter:
+    """Fixed-size bloom filter with configurable target false-positive rate."""
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        # Optimal sizing: m = -n ln(p) / (ln 2)^2, k = m/n ln 2.
+        self.num_bits = max(
+            8, int(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        self.num_hashes = max(1, round(self.num_bits / capacity * math.log(2)))
+        self._bits = np.zeros(self.num_bits, dtype=bool)
+        self._count = 0
+
+    def _positions(self, key: bytes) -> np.ndarray:
+        h1, h2 = _hash_pair(key)
+        idx = (h1 + np.arange(self.num_hashes, dtype=np.uint64) * h2)
+        return (idx % np.uint64(self.num_bits)).astype(np.int64)
+
+    def add(self, key: bytes | str) -> None:
+        """Insert a key."""
+        if isinstance(key, str):
+            key = key.encode()
+        self._bits[self._positions(key)] = True
+        self._count += 1
+
+    def might_contain(self, key: bytes | str) -> bool:
+        """True if the key *may* be present; False means definitely absent."""
+        if isinstance(key, str):
+            key = key.encode()
+        return bool(self._bits[self._positions(key)].all())
+
+    def __contains__(self, key: bytes | str) -> bool:
+        return self.might_contain(key)
+
+    def __len__(self) -> int:
+        """Number of keys added (not the number of distinct keys)."""
+        return self._count
+
+    def to_bytes(self) -> bytes:
+        """Serialize for embedding inside an SSTable footer."""
+        header = (self.capacity.to_bytes(8, "little")
+                  + self.num_bits.to_bytes(8, "little")
+                  + self.num_hashes.to_bytes(4, "little")
+                  + self._count.to_bytes(8, "little"))
+        return header + np.packbits(self._bits).tobytes()
+
+    @staticmethod
+    def from_bytes(raw: bytes) -> "BloomFilter":
+        """Inverse of :meth:`to_bytes`."""
+        capacity = int.from_bytes(raw[0:8], "little")
+        num_bits = int.from_bytes(raw[8:16], "little")
+        num_hashes = int.from_bytes(raw[16:20], "little")
+        count = int.from_bytes(raw[20:28], "little")
+        bloom = BloomFilter.__new__(BloomFilter)
+        bloom.capacity = capacity
+        bloom.fp_rate = 0.0  # unknown after round-trip; sizing already fixed
+        bloom.num_bits = num_bits
+        bloom.num_hashes = num_hashes
+        bits = np.unpackbits(np.frombuffer(raw[28:], dtype=np.uint8))
+        bloom._bits = bits[:num_bits].astype(bool)
+        bloom._count = count
+        return bloom

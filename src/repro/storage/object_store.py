@@ -1,0 +1,181 @@
+"""S3-like object store (Section 3.2 storage layer).
+
+Worker nodes persist binlogs, indexes, SSTables and checkpoints as immutable
+blobs under string keys.  The paper uses AWS S3/MinIO; we provide the same
+narrow API (put/get/list/delete/exists) over pluggable backends:
+
+* :class:`MemoryBackend` — a dict, for tests and simulations;
+* :class:`FsBackend` — a local directory, matching the paper's note that the
+  object KV "can be the local file system on personal computers".
+
+The store records per-request statistics and, when given a cost model and a
+charge callback, reports the virtual time each request would take — that is
+how object-store latency enters the discrete-event experiments without the
+components knowing about the simulator.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Protocol
+
+from repro.errors import ObjectNotFound, StorageError
+
+
+class Backend(Protocol):
+    """Minimal blob-storage backend contract."""
+
+    def put(self, key: str, data: bytes) -> None: ...
+    def get(self, key: str) -> bytes: ...
+    def delete(self, key: str) -> None: ...
+    def exists(self, key: str) -> bool: ...
+    def keys(self) -> Iterable[str]: ...
+
+
+class MemoryBackend:
+    """In-process dict backend."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def put(self, key: str, data: bytes) -> None:
+        with self._lock:
+            self._blobs[key] = bytes(data)
+
+    def get(self, key: str) -> bytes:
+        with self._lock:
+            try:
+                return self._blobs[key]
+            except KeyError:
+                raise ObjectNotFound(key) from None
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._blobs.pop(key, None)
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._blobs
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._blobs)
+
+
+class FsBackend:
+    """Local-filesystem backend; keys map to files under a root directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        if ".." in key.split("/"):
+            raise StorageError(f"illegal key {key!r}")
+        return os.path.join(self.root, *key.split("/"))
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+
+    def get(self, key: str) -> bytes:
+        try:
+            with open(self._path(key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise ObjectNotFound(key) from None
+
+    def delete(self, key: str) -> None:
+        try:
+            os.remove(self._path(key))
+        except FileNotFoundError:
+            pass
+
+    def exists(self, key: str) -> bool:
+        return os.path.isfile(self._path(key))
+
+    def keys(self) -> list[str]:
+        found: list[str] = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, self.root)
+                found.append(rel.replace(os.sep, "/"))
+        return sorted(found)
+
+
+@dataclass
+class StoreStats:
+    """Cumulative request statistics for monitoring and tests."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    virtual_ms_charged: float = field(default=0.0)
+
+
+class ObjectStore:
+    """Object store facade with statistics and optional cost charging.
+
+    ``charge`` is an optional callback ``(virtual_ms: float) -> None`` that
+    the cluster wires to the event loop so storage latency shows up in the
+    experiments; components outside a simulation simply omit it.
+    """
+
+    def __init__(self, backend: Optional[Backend] = None,
+                 cost_per_request_ms: float = 0.0,
+                 cost_per_mb_ms: float = 0.0,
+                 charge: Optional[Callable[[float], None]] = None) -> None:
+        self.backend: Backend = backend if backend is not None else MemoryBackend()
+        self.cost_per_request_ms = cost_per_request_ms
+        self.cost_per_mb_ms = cost_per_mb_ms
+        self._charge = charge
+        self.stats = StoreStats()
+
+    def _pay(self, nbytes: int) -> None:
+        cost = (self.cost_per_request_ms
+                + nbytes / (1024.0 * 1024.0) * self.cost_per_mb_ms)
+        self.stats.virtual_ms_charged += cost
+        if self._charge is not None and cost > 0:
+            self._charge(cost)
+
+    def put(self, key: str, data: bytes) -> None:
+        """Store an immutable blob under ``key`` (overwrites silently)."""
+        self.backend.put(key, data)
+        self.stats.puts += 1
+        self.stats.bytes_written += len(data)
+        self._pay(len(data))
+
+    def get(self, key: str) -> bytes:
+        """Fetch a blob; raises :class:`ObjectNotFound` when absent."""
+        data = self.backend.get(key)
+        self.stats.gets += 1
+        self.stats.bytes_read += len(data)
+        self._pay(len(data))
+        return data
+
+    def delete(self, key: str) -> None:
+        """Remove a blob if present (idempotent)."""
+        self.backend.delete(key)
+        self.stats.deletes += 1
+        self._pay(0)
+
+    def exists(self, key: str) -> bool:
+        return self.backend.exists(key)
+
+    def list(self, prefix: str = "") -> list[str]:
+        """All keys starting with ``prefix``, sorted."""
+        return [k for k in self.backend.keys() if k.startswith(prefix)]
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Sum of blob sizes under a prefix (storage accounting)."""
+        return sum(len(self.backend.get(k)) for k in self.list(prefix))

@@ -1,0 +1,22 @@
+"""Automatic index-parameter configuration (Section 4.2).
+
+:mod:`repro.tuning.bohb` implements the paper's BOHB (Bayesian
+Optimization with Hyperband) search over index-parameter spaces, with
+sub-sampled trial budgets and a user-supplied utility function.
+"""
+
+from repro.tuning.bohb import (
+    BohbTuner,
+    CategoricalParam,
+    IntParam,
+    SearchSpace,
+    Trial,
+)
+
+__all__ = [
+    "BohbTuner",
+    "CategoricalParam",
+    "IntParam",
+    "SearchSpace",
+    "Trial",
+]

@@ -1,0 +1,158 @@
+"""Tests for time-travel checkpoints and the compaction policy."""
+
+import numpy as np
+import pytest
+
+from repro.config import SegmentConfig
+from repro.core.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    apply_retention,
+    read_delete_deltas,
+    write_delete_delta,
+)
+from repro.core.compaction import (
+    CompactionPolicy,
+    SegmentMeta,
+    compact_segments,
+)
+from repro.core.tso import Timestamp
+from repro.log.binlog import BinlogReader, BinlogWriter
+from repro.log.broker import LogBroker
+from repro.log.wal import shard_channel
+from repro.storage.object_store import ObjectStore
+
+
+class TestCheckpointManager:
+    def test_write_and_lookup(self):
+        store = ObjectStore()
+        manager = CheckpointManager(store)
+        for ts in (100, 200, 300):
+            manager.write(Checkpoint("coll", ts, ("s1",), {"ch": ts // 10}))
+        assert manager.latest_before("coll", 250).ts == 200
+        assert manager.latest_before("coll", 300).ts == 300
+        assert manager.latest_before("coll", 50) is None
+        assert len(manager.list_checkpoints("coll")) == 3
+
+    def test_json_roundtrip(self):
+        checkpoint = Checkpoint("c", 42, ("a", "b"), {"ch1": 7})
+        again = Checkpoint.from_json(checkpoint.to_json())
+        assert again == checkpoint
+
+
+class TestDeleteDeltas:
+    def test_write_read_ordering(self):
+        store = ObjectStore()
+        write_delete_delta(store, "coll", 0, [(1, 100), (2, 200)])
+        write_delete_delta(store, "coll", 1, [(3, 300)])
+        got = read_delete_deltas(store, "coll")
+        assert (1, 100) in got and (3, 300) in got
+        assert len(got) == 3
+
+    def test_empty_write_noop(self):
+        store = ObjectStore()
+        write_delete_delta(store, "coll", 0, [])
+        assert store.list("delta/") == []
+
+
+class TestRetention:
+    def test_expires_old_checkpoints_and_truncates(self):
+        store = ObjectStore()
+        broker = LogBroker()
+        channel = shard_channel("coll", 0)
+        broker.create_channel(channel)
+        for i in range(20):
+            broker.publish(channel, i)
+        manager = CheckpointManager(store)
+        old_ts = Timestamp.from_physical(100).pack()
+        new_ts = Timestamp.from_physical(1000).pack()
+        manager.write(Checkpoint("coll", old_ts, (), {channel: 5}))
+        manager.write(Checkpoint("coll", new_ts, (), {channel: 12}))
+        dropped = apply_retention(store, broker, "coll", 1,
+                                  expire_before_ms=500)
+        assert dropped == 1 + 12  # one checkpoint + 12 WAL entries
+        assert broker.begin_offset(channel) == 12
+        remaining = manager.list_checkpoints("coll")
+        assert [c.ts for c in remaining] == [new_ts]
+
+    def test_no_survivors_keeps_wal(self):
+        store = ObjectStore()
+        broker = LogBroker()
+        channel = shard_channel("coll", 0)
+        broker.create_channel(channel)
+        broker.publish(channel, 1)
+        dropped = apply_retention(store, broker, "coll", 1, 10_000)
+        assert dropped == 0
+        assert broker.begin_offset(channel) == 0
+
+
+class TestCompactionPolicy:
+    def test_small_segments_grouped(self):
+        config = SegmentConfig(compaction_min_size=100,
+                               compaction_target_size=250)
+        policy = CompactionPolicy(config)
+        metas = [SegmentMeta(f"s{i}", 80) for i in range(5)]
+        groups = policy.plan(metas)
+        assert groups  # something to merge
+        grouped = [sid for group in groups for sid in group]
+        assert len(set(grouped)) == len(grouped)
+        for group in groups:
+            assert len(group) > 1
+
+    def test_large_segments_untouched(self):
+        policy = CompactionPolicy(SegmentConfig(compaction_min_size=100))
+        assert policy.plan([SegmentMeta("big", 5000)]) == []
+
+    def test_delete_heavy_segment_compacted_alone(self):
+        policy = CompactionPolicy(delete_rebuild_ratio=0.2)
+        groups = policy.plan([SegmentMeta("dirty", 1000, num_deleted=300)])
+        assert groups == [["dirty"]]
+
+    def test_single_small_segment_not_merged(self):
+        policy = CompactionPolicy(SegmentConfig(compaction_min_size=100))
+        assert policy.plan([SegmentMeta("lonely", 10)]) == []
+
+    def test_empty_segments_skipped(self):
+        policy = CompactionPolicy()
+        assert policy.plan([SegmentMeta("empty", 0)]) == []
+
+
+class TestCompactSegments:
+    def _write(self, store, rng, segment_id, pks, lsn):
+        writer = BinlogWriter(store)
+        n = len(pks)
+        writer.write_segment("coll", segment_id, pks, {
+            "vector": rng.standard_normal((n, 4)).astype(np.float32),
+            "price": list(np.arange(n, dtype=float))}, lsn)
+
+    def test_merge_preserves_rows(self, rng):
+        store = ObjectStore()
+        self._write(store, rng, "s1", [1, 2, 3], 10)
+        self._write(store, rng, "s2", [4, 5], 20)
+        manifest = compact_segments(store, "coll", ["s1", "s2"])
+        assert manifest.num_rows == 5
+        assert manifest.max_lsn == 20
+        assert sorted(manifest.pks) == [1, 2, 3, 4, 5]
+        reader = BinlogReader(store)
+        assert reader.list_segments("coll") == [manifest.segment_id]
+        vectors = reader.read_field("coll", manifest.segment_id, "vector")
+        assert vectors.shape == (5, 4)
+
+    def test_deleted_pks_dropped(self, rng):
+        store = ObjectStore()
+        self._write(store, rng, "s1", [1, 2, 3], 10)
+        manifest = compact_segments(store, "coll", ["s1"],
+                                    deleted_pks={2})
+        assert sorted(manifest.pks) == [1, 3]
+
+    def test_per_segment_delete_mapping(self, rng):
+        store = ObjectStore()
+        self._write(store, rng, "s1", [1, 2], 10)
+        self._write(store, rng, "s2", [3, 4], 20)
+        manifest = compact_segments(store, "coll", ["s1", "s2"],
+                                    deleted_pks={"s1": {1}, "s2": {4}})
+        assert sorted(manifest.pks) == [2, 3]
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            compact_segments(ObjectStore(), "coll", [])

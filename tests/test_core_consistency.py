@@ -1,0 +1,87 @@
+"""Tests for the delta-consistency model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.consistency import (
+    ConsistencyGate,
+    ConsistencyLevel,
+    guarantee_ts,
+)
+from repro.core.tso import Timestamp
+
+
+def packed(ms: int, logical: int = 0) -> int:
+    return Timestamp(ms, logical).pack()
+
+
+class TestGuaranteeTs:
+    def test_strong_equals_issue(self):
+        assert guarantee_ts(ConsistencyLevel.STRONG, packed(100)) == \
+            packed(100)
+
+    def test_bounded_subtracts_staleness(self):
+        got = guarantee_ts(ConsistencyLevel.BOUNDED, packed(100, 5),
+                           staleness_ms=30)
+        assert got == packed(70, 5)
+
+    def test_bounded_clamps_at_zero(self):
+        got = guarantee_ts(ConsistencyLevel.BOUNDED, packed(10),
+                           staleness_ms=100)
+        assert Timestamp.unpack(got).physical_ms == 0
+
+    def test_bounded_zero_is_strong(self):
+        issue = packed(55, 3)
+        assert guarantee_ts(ConsistencyLevel.BOUNDED, issue, 0) == \
+            guarantee_ts(ConsistencyLevel.STRONG, issue)
+
+    def test_session_uses_last_write(self):
+        got = guarantee_ts(ConsistencyLevel.SESSION, packed(100),
+                           session_ts=packed(42))
+        assert got == packed(42)
+
+    def test_eventual_never_waits(self):
+        assert guarantee_ts(ConsistencyLevel.EVENTUAL, packed(100)) == 0
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(ValueError):
+            guarantee_ts(ConsistencyLevel.BOUNDED, packed(10), -5)
+
+
+class TestConsistencyGate:
+    def test_ready_progression(self):
+        gate = ConsistencyGate()
+        assert gate.ready(0)
+        assert not gate.ready(packed(10))
+        gate.observe_tick(packed(10))
+        assert gate.ready(packed(10))
+        assert not gate.ready(packed(11))
+
+    def test_watermark_monotone(self):
+        gate = ConsistencyGate()
+        gate.observe(packed(50))
+        gate.observe(packed(20))  # stale observation ignored
+        assert gate.seen_ts == packed(50)
+
+    def test_tick_counter(self):
+        gate = ConsistencyGate()
+        gate.observe_tick(packed(1))
+        gate.observe_tick(packed(2))
+        gate.observe(packed(3))  # not a tick
+        assert gate.ticks_consumed == 2
+
+    def test_lag_ms(self):
+        gate = ConsistencyGate()
+        gate.observe(packed(40))
+        assert gate.lag_ms(packed(100)) == 60.0
+        assert gate.lag_ms(packed(30)) == 0.0
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=50),
+           st.integers(0, 10_000))
+    def test_gate_invariant(self, observations, guarantee_ms):
+        """ready(g) holds iff some observation >= g was made."""
+        gate = ConsistencyGate()
+        for ms in observations:
+            gate.observe(packed(ms))
+        guarantee = packed(guarantee_ms)
+        assert gate.ready(guarantee) == (max(observations) >= guarantee_ms)

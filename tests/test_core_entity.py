@@ -1,0 +1,155 @@
+"""Tests for entity-batch validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.entity import reset_auto_id_counter, validate_batch
+from repro.core.schema import CollectionSchema, DataType, FieldSchema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return CollectionSchema([
+        FieldSchema("vector", DataType.FLOAT_VECTOR, dim=4),
+        FieldSchema("price", DataType.FLOAT),
+        FieldSchema("label", DataType.STRING),
+    ])
+
+
+@pytest.fixture
+def explicit_schema():
+    return CollectionSchema([
+        FieldSchema("pk", DataType.INT64, is_primary=True),
+        FieldSchema("vector", DataType.FLOAT_VECTOR, dim=4),
+    ])
+
+
+def good_data(n=3):
+    return {
+        "vector": np.ones((n, 4), dtype=np.float32),
+        "price": [1.0, 2.0, 3.0][:n],
+        "label": ["a", "b", "c"][:n],
+    }
+
+
+class TestAutoId:
+    def test_auto_ids_assigned_sequentially(self, schema):
+        batch = validate_batch(schema, good_data())
+        assert batch.pks == (1, 2, 3)
+        again = validate_batch(schema, good_data())
+        assert again.pks == (4, 5, 6)
+
+    def test_reset_counter(self, schema):
+        validate_batch(schema, good_data())
+        reset_auto_id_counter()
+        batch = validate_batch(schema, good_data())
+        assert batch.pks == (1, 2, 3)
+
+    def test_supplying_auto_id_rejected(self, schema):
+        data = good_data()
+        data["_auto_id"] = [1, 2, 3]
+        with pytest.raises(SchemaError):
+            validate_batch(schema, data)
+
+
+class TestExplicitPk:
+    def test_pks_from_data(self, explicit_schema):
+        batch = validate_batch(explicit_schema, {
+            "pk": [10, 20], "vector": np.zeros((2, 4), dtype=np.float32)})
+        assert batch.pks == (10, 20)
+
+    def test_missing_pk_rejected(self, explicit_schema):
+        with pytest.raises(SchemaError):
+            validate_batch(explicit_schema,
+                           {"vector": np.zeros((2, 4), dtype=np.float32)})
+
+    def test_duplicate_pks_rejected(self, explicit_schema):
+        with pytest.raises(SchemaError):
+            validate_batch(explicit_schema, {
+                "pk": [1, 1],
+                "vector": np.zeros((2, 4), dtype=np.float32)})
+
+    def test_string_pks(self):
+        schema = CollectionSchema([
+            FieldSchema("pk", DataType.STRING, is_primary=True),
+            FieldSchema("vector", DataType.FLOAT_VECTOR, dim=4),
+        ])
+        batch = validate_batch(schema, {
+            "pk": ["x", "y"],
+            "vector": np.zeros((2, 4), dtype=np.float32)})
+        assert batch.pks == ("x", "y")
+
+
+class TestValidation:
+    def test_unknown_field_rejected(self, schema):
+        data = good_data()
+        data["extra"] = [1, 2, 3]
+        with pytest.raises(SchemaError, match="unknown fields"):
+            validate_batch(schema, data)
+
+    def test_missing_field_rejected(self, schema):
+        data = good_data()
+        del data["price"]
+        with pytest.raises(SchemaError, match="missing fields"):
+            validate_batch(schema, data)
+
+    def test_ragged_batch_rejected(self, schema):
+        data = good_data()
+        data["price"] = [1.0]
+        with pytest.raises(SchemaError, match="ragged"):
+            validate_batch(schema, data)
+
+    def test_empty_batch_rejected(self, schema):
+        with pytest.raises(SchemaError, match="empty"):
+            validate_batch(schema, {
+                "vector": np.zeros((0, 4), dtype=np.float32),
+                "price": [], "label": []})
+
+    def test_wrong_dim_rejected(self, schema):
+        data = good_data()
+        data["vector"] = np.ones((3, 5), dtype=np.float32)
+        with pytest.raises(SchemaError, match="dim"):
+            validate_batch(schema, data)
+
+    def test_nan_vector_rejected(self, schema):
+        data = good_data()
+        data["vector"] = np.full((3, 4), np.nan, dtype=np.float32)
+        with pytest.raises(SchemaError, match="non-finite"):
+            validate_batch(schema, data)
+
+    def test_non_string_label_rejected(self, schema):
+        data = good_data()
+        data["label"] = [1, 2, 3]
+        with pytest.raises(SchemaError, match="strings"):
+            validate_batch(schema, data)
+
+    def test_vector_cast_to_float32(self, schema):
+        data = good_data()
+        data["vector"] = [[1, 2, 3, 4]] * 3
+        batch = validate_batch(schema, data)
+        assert batch.columns["vector"].dtype == np.float32
+
+    def test_int_column_coercion(self):
+        schema = CollectionSchema([
+            FieldSchema("vector", DataType.FLOAT_VECTOR, dim=2),
+            FieldSchema("count", DataType.INT64),
+        ])
+        batch = validate_batch(schema, {
+            "vector": np.zeros((2, 2), dtype=np.float32),
+            "count": [1.0, 2.0]})  # integral floats accepted
+        assert batch.columns["count"].dtype == np.int64
+        with pytest.raises(SchemaError):
+            validate_batch(schema, {
+                "vector": np.zeros((2, 2), dtype=np.float32),
+                "count": [1.5, 2.0]})
+
+    def test_bool_column(self):
+        schema = CollectionSchema([
+            FieldSchema("vector", DataType.FLOAT_VECTOR, dim=2),
+            FieldSchema("flag", DataType.BOOL),
+        ])
+        batch = validate_batch(schema, {
+            "vector": np.zeros((2, 2), dtype=np.float32),
+            "flag": np.array([True, False])})
+        assert batch.columns["flag"].dtype == np.bool_

@@ -1,0 +1,98 @@
+"""Tests for search results and the two-phase top-k reduce."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.core.results import (
+    SearchHit,
+    SearchResult,
+    hits_from_arrays,
+    merge_topk,
+)
+from repro.core.schema import MetricType
+
+
+class TestSearchHit:
+    def test_ordering_by_distance(self):
+        close = SearchHit(0.5, "a")
+        far = SearchHit(2.0, "b")
+        assert close < far
+
+    def test_score_for_euclidean_is_sqrt(self):
+        hit = SearchHit(9.0, "a")
+        assert hit.score_for(MetricType.EUCLIDEAN) == 3.0
+
+    def test_score_for_ip_negates(self):
+        hit = SearchHit(-0.8, "a")
+        assert hit.score_for(MetricType.INNER_PRODUCT) == 0.8
+
+
+class TestMergeTopk:
+    def test_merges_sorted_lists(self):
+        a = [SearchHit(1.0, "a"), SearchHit(3.0, "c")]
+        b = [SearchHit(2.0, "b"), SearchHit(4.0, "d")]
+        merged = merge_topk([a, b], 3)
+        assert [h.pk for h in merged] == ["a", "b", "c"]
+
+    def test_deduplicates_by_pk(self):
+        a = [SearchHit(1.0, "x"), SearchHit(3.0, "y")]
+        b = [SearchHit(2.0, "x"), SearchHit(2.5, "z")]
+        merged = merge_topk([a, b], 10)
+        assert [h.pk for h in merged] == ["x", "z", "y"]
+        assert merged[0].adjusted_distance == 1.0  # best copy survives
+
+    def test_k_zero(self):
+        assert merge_topk([[SearchHit(1.0, "a")]], 0) == []
+
+    def test_empty_lists(self):
+        assert merge_topk([], 5) == []
+        assert merge_topk([[], []], 5) == []
+
+    @given(st.lists(
+        st.lists(st.tuples(st.floats(0, 100), st.integers(0, 40)),
+                 max_size=20),
+        min_size=1, max_size=5),
+        st.integers(1, 15))
+    def test_equals_global_sort(self, raw_lists, k):
+        """Two-phase reduce == flat sort + dedup (the core invariant)."""
+        hit_lists = [sorted(SearchHit(d, pk) for d, pk in lst)
+                     for lst in raw_lists]
+        merged = merge_topk(hit_lists, k)
+
+        flat = sorted(h for lst in hit_lists for h in lst)
+        expected = []
+        seen = set()
+        for hit in flat:
+            if hit.pk not in seen:
+                seen.add(hit.pk)
+                expected.append(hit.pk)
+            if len(expected) >= k:
+                break
+        assert [h.pk for h in merged] == expected
+
+    @given(st.lists(st.lists(st.tuples(st.floats(0, 100),
+                                       st.integers(0, 100)), max_size=15),
+                    min_size=1, max_size=4))
+    def test_output_sorted_and_unique(self, raw_lists):
+        hit_lists = [sorted(SearchHit(d, pk) for d, pk in lst)
+                     for lst in raw_lists]
+        merged = merge_topk(hit_lists, 10)
+        dists = [h.adjusted_distance for h in merged]
+        assert dists == sorted(dists)
+        pks = [h.pk for h in merged]
+        assert len(set(pks)) == len(pks)
+
+
+class TestHelpers:
+    def test_hits_from_arrays_sorted(self):
+        hits = hits_from_arrays(["a", "b", "c"], np.array([3.0, 1.0, 2.0]))
+        assert [h.pk for h in hits] == ["b", "c", "a"]
+
+    def test_search_result_accessors(self):
+        result = SearchResult(
+            hits=[SearchHit(4.0, 1), SearchHit(9.0, 2)],
+            metric=MetricType.EUCLIDEAN, latency_ms=1.5)
+        assert result.pks == [1, 2]
+        assert result.scores == [2.0, 3.0]
+        assert len(result) == 2
+        assert list(result)[0].pk == 1

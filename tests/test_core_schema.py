@@ -1,0 +1,122 @@
+"""Tests for collection schemas."""
+
+import pytest
+
+from repro.core.schema import (
+    AUTO_ID_FIELD,
+    CollectionSchema,
+    DataType,
+    FieldSchema,
+    MetricType,
+    simple_schema,
+)
+from repro.errors import FieldNotFound, SchemaError
+
+
+class TestFieldSchema:
+    def test_vector_field_needs_dim(self):
+        with pytest.raises(SchemaError):
+            FieldSchema("v", DataType.FLOAT_VECTOR)
+
+    def test_scalar_field_rejects_dim(self):
+        with pytest.raises(SchemaError):
+            FieldSchema("x", DataType.FLOAT, dim=8)
+
+    def test_vector_cannot_be_primary(self):
+        with pytest.raises(SchemaError):
+            FieldSchema("v", DataType.FLOAT_VECTOR, dim=8, is_primary=True)
+
+    def test_primary_must_be_int_or_string(self):
+        with pytest.raises(SchemaError):
+            FieldSchema("x", DataType.FLOAT, is_primary=True)
+        FieldSchema("x", DataType.INT64, is_primary=True)
+        FieldSchema("y", DataType.STRING, is_primary=True)
+
+    def test_reserved_names_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldSchema(AUTO_ID_FIELD, DataType.INT64)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldSchema("has space", DataType.INT64)
+
+
+class TestCollectionSchema:
+    def test_auto_id_added_when_no_primary(self):
+        schema = CollectionSchema(
+            [FieldSchema("v", DataType.FLOAT_VECTOR, dim=4)])
+        assert schema.auto_id
+        assert schema.primary_field.name == AUTO_ID_FIELD
+
+    def test_explicit_primary_respected(self):
+        schema = CollectionSchema([
+            FieldSchema("pk", DataType.INT64, is_primary=True),
+            FieldSchema("v", DataType.FLOAT_VECTOR, dim=4),
+        ])
+        assert not schema.auto_id
+        assert schema.primary_field.name == "pk"
+
+    def test_needs_vector_field(self):
+        with pytest.raises(SchemaError):
+            CollectionSchema([FieldSchema("x", DataType.FLOAT)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            CollectionSchema([
+                FieldSchema("v", DataType.FLOAT_VECTOR, dim=4),
+                FieldSchema("v", DataType.FLOAT),
+            ])
+
+    def test_two_primaries_rejected(self):
+        with pytest.raises(SchemaError):
+            CollectionSchema([
+                FieldSchema("a", DataType.INT64, is_primary=True),
+                FieldSchema("b", DataType.INT64, is_primary=True),
+                FieldSchema("v", DataType.FLOAT_VECTOR, dim=4),
+            ])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            CollectionSchema([])
+
+    def test_field_lookup(self):
+        schema = simple_schema(8, with_price=True)
+        assert schema.field("price").dtype is DataType.FLOAT
+        with pytest.raises(FieldNotFound):
+            schema.field("nope")
+        assert schema.has_field("vector")
+        assert not schema.has_field("nope")
+
+    def test_vector_and_scalar_partitions(self):
+        schema = simple_schema(8, with_label=True, with_price=True)
+        assert [f.name for f in schema.vector_fields] == ["vector"]
+        assert {f.name for f in schema.scalar_fields} == {"label", "price"}
+
+    def test_multi_vector_fields(self):
+        schema = CollectionSchema([
+            FieldSchema("image", DataType.FLOAT_VECTOR, dim=8),
+            FieldSchema("text", DataType.FLOAT_VECTOR, dim=4),
+        ])
+        assert len(schema.vector_fields) == 2
+        assert schema.default_vector_field().name == "image"
+
+    def test_dict_roundtrip(self):
+        schema = simple_schema(8, with_label=True, with_price=True)
+        again = CollectionSchema.from_dict(schema.to_dict())
+        assert again == schema
+
+    def test_dict_roundtrip_explicit_primary(self):
+        schema = CollectionSchema([
+            FieldSchema("pk", DataType.STRING, is_primary=True),
+            FieldSchema("v", DataType.FLOAT_VECTOR, dim=4),
+        ])
+        again = CollectionSchema.from_dict(schema.to_dict())
+        assert again == schema
+        assert not again.auto_id
+
+
+class TestMetricType:
+    def test_higher_is_better(self):
+        assert not MetricType.EUCLIDEAN.higher_is_better
+        assert MetricType.INNER_PRODUCT.higher_is_better
+        assert MetricType.COSINE.higher_is_better

@@ -1,0 +1,82 @@
+"""Tests for the hybrid-logical-clock timestamp oracle."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.tso import LOGICAL_MASK, Timestamp, TimestampOracle
+
+
+class TestTimestamp:
+    def test_pack_unpack_roundtrip(self):
+        ts = Timestamp(123456, 42)
+        assert Timestamp.unpack(ts.pack()) == ts
+
+    def test_pack_preserves_order(self):
+        a = Timestamp(10, 5).pack()
+        b = Timestamp(10, 6).pack()
+        c = Timestamp(11, 0).pack()
+        assert a < b < c
+
+    def test_from_physical(self):
+        ts = Timestamp.from_physical(99.7)
+        assert ts.physical_ms == 99 and ts.logical == 0
+
+    @given(st.integers(0, 2**40), st.integers(0, LOGICAL_MASK))
+    def test_roundtrip_property(self, physical, logical):
+        ts = Timestamp(physical, logical)
+        assert Timestamp.unpack(ts.pack()) == ts
+
+
+class TestTimestampOracle:
+    def test_monotonic_with_frozen_clock(self):
+        tso = TimestampOracle(lambda: 5.0)
+        stamps = [tso.allocate() for _ in range(100)]
+        for prev, cur in zip(stamps, stamps[1:]):
+            assert cur > prev
+
+    def test_physical_tracks_clock(self):
+        now = {"t": 0.0}
+        tso = TimestampOracle(lambda: now["t"])
+        first = tso.allocate()
+        now["t"] = 100.0
+        second = tso.allocate()
+        assert first.physical_ms == 0
+        assert second.physical_ms == 100
+        assert second.logical == 0
+
+    def test_logical_counter_within_same_ms(self):
+        tso = TimestampOracle(lambda: 7.0)
+        a = tso.allocate()
+        b = tso.allocate()
+        assert a.physical_ms == b.physical_ms == 7
+        assert b.logical == a.logical + 1
+
+    def test_logical_overflow_bumps_physical(self):
+        tso = TimestampOracle(lambda: 3.0)
+        tso._last = Timestamp(3, LOGICAL_MASK)
+        ts = tso.allocate()
+        assert ts == Timestamp(4, 0)
+
+    def test_issued_count(self):
+        tso = TimestampOracle(lambda: 0.0)
+        for _ in range(5):
+            tso.allocate()
+        assert tso.issued_count == 5
+
+    def test_allocate_packed_monotonic(self):
+        now = {"t": 0.0}
+        tso = TimestampOracle(lambda: now["t"])
+        packed = []
+        for step in range(50):
+            now["t"] = step // 10  # clock advances slowly
+            packed.append(tso.allocate_packed())
+        assert packed == sorted(packed)
+        assert len(set(packed)) == len(packed)
+
+    def test_clock_regression_tolerated(self):
+        # The HLC must stay monotone even if the clock source jumps back.
+        now = {"t": 100.0}
+        tso = TimestampOracle(lambda: now["t"])
+        first = tso.allocate()
+        now["t"] = 50.0
+        second = tso.allocate()
+        assert second > first

@@ -1,0 +1,254 @@
+"""Tests for dataset generators, baseline engines and the BOHB tuner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.engines import (
+    ElasticsearchLikeEngine,
+    ManuEngine,
+    ValdLikeEngine,
+    VearchLikeEngine,
+    VespaLikeEngine,
+)
+from repro.baselines.milvus import MilvusLikeCluster
+from repro.core.schema import CollectionSchema, DataType, FieldSchema, \
+    MetricType
+from repro.datasets.synthetic import (
+    ground_truth,
+    make_deep_like,
+    make_sift_like,
+    recall_at_k,
+)
+from repro.tuning.bohb import (
+    BohbTuner,
+    CategoricalParam,
+    IntParam,
+    SearchSpace,
+)
+
+
+class TestDatasets:
+    def test_sift_like_statistics(self):
+        dataset = make_sift_like(n=2000, nq=20)
+        assert dataset.dim == 128
+        assert dataset.metric is MetricType.EUCLIDEAN
+        assert dataset.vectors.min() >= 0  # SIFT is non-negative
+        assert dataset.vectors.max() <= 218.0
+        assert dataset.queries.shape == (20, 128)
+
+    def test_deep_like_statistics(self):
+        dataset = make_deep_like(n=2000, nq=20)
+        assert dataset.dim == 96
+        assert dataset.metric is MetricType.INNER_PRODUCT
+        norms = np.linalg.norm(dataset.vectors, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-4)
+
+    def test_deterministic_for_seed(self):
+        a = make_sift_like(n=500, seed=3)
+        b = make_sift_like(n=500, seed=3)
+        assert np.array_equal(a.vectors, b.vectors)
+
+    def test_subset(self):
+        dataset = make_sift_like(n=1000, nq=10)
+        sub = dataset.subset(100)
+        assert sub.size == 100
+        assert np.array_equal(sub.vectors, dataset.vectors[:100])
+        with pytest.raises(ValueError):
+            dataset.subset(5000)
+
+    def test_ground_truth_exactness(self):
+        dataset = make_sift_like(n=500, nq=10)
+        truth = ground_truth(dataset, 5)
+        assert truth.shape == (10, 5)
+        # Verify one query by hand.
+        dists = ((dataset.vectors - dataset.queries[0]) ** 2).sum(axis=1)
+        assert set(truth[0]) == set(np.argsort(dists)[:5])
+
+    def test_recall_at_k(self):
+        truth = np.array([[1, 2, 3], [4, 5, 6]])
+        perfect = recall_at_k(truth, truth)
+        assert perfect == 1.0
+        half = recall_at_k(np.array([[1, 2, 99], [4, 98, 97]]), truth)
+        assert half == pytest.approx(0.5)
+        padded = recall_at_k(np.array([[1, -1, -1], [4, -1, -1]]), truth)
+        assert padded == pytest.approx(1 / 3)
+
+    def test_clustered_data_helps_ivf(self):
+        """The generated data must be clustered enough that IVF probing a
+        fraction of lists beats its probe fraction — that property drives
+        every paper figure involving indexes."""
+        from repro.index.ivf import IvfFlatIndex
+        dataset = make_sift_like(n=3000, nq=30)
+        truth = ground_truth(dataset, 10)
+        index = IvfFlatIndex(dataset.metric, dataset.dim, nlist=40,
+                             nprobe=8)
+        index.build(dataset.vectors)
+        ids, _ = index.search(dataset.queries, 10)
+        recall = recall_at_k(ids, truth)
+        assert recall > 0.6  # far above the 20% probe fraction
+
+
+class TestEngines:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        dataset = make_sift_like(n=1500, nq=20)
+        truth = ground_truth(dataset, 10)
+        return dataset, truth
+
+    def test_engine_curves_monotone_in_recall(self, bench):
+        dataset, truth = bench
+        engine = ManuEngine(index_type="IVF_FLAT")
+        engine.fit(dataset)
+        results = engine.measure(10, truth)
+        recalls = [r.recall for r in results]
+        assert recalls == sorted(recalls)  # larger nprobe, higher recall
+        assert results[-1].recall > 0.9
+
+    def test_latency_grows_with_effort(self, bench):
+        dataset, truth = bench
+        engine = ManuEngine(index_type="IVF_FLAT")
+        engine.fit(dataset)
+        results = engine.measure(10, truth)
+        assert results[-1].latency_ms > results[0].latency_ms
+
+    def test_es_slower_than_manu(self, bench):
+        dataset, truth = bench
+        manu = ManuEngine(index_type="HNSW")
+        manu.fit(dataset)
+        es = ElasticsearchLikeEngine()
+        es.fit(dataset)
+        manu_results = {round(r.recall, 1): r for r in manu.measure(
+            10, truth)}
+        es_results = es.measure(10, truth)
+        # At comparable recall, ES throughput is far below Manu's.
+        for es_point in es_results:
+            key = round(es_point.recall, 1)
+            if key in manu_results:
+                assert es_point.qps < manu_results[key].qps / 3
+
+    def test_vearch_overhead_visible(self, bench):
+        dataset, truth = bench
+        manu = ManuEngine(index_type="IVF_FLAT")
+        manu.fit(dataset)
+        vearch = VearchLikeEngine()
+        vearch.fit(dataset)
+        m = manu.measure(10, truth)
+        v = vearch.measure(10, truth)
+        # Same sweep, same index family: Vearch pays aggregation overhead.
+        for m_point, v_point in zip(m, v):
+            assert v_point.latency_ms > m_point.latency_ms
+
+    def test_graph_engines_close_to_manu(self, bench):
+        dataset, truth = bench
+        vald = ValdLikeEngine()
+        vald.fit(dataset)
+        vespa = VespaLikeEngine()
+        vespa.fit(dataset)
+        for engine in (vald, vespa):
+            results = engine.measure(10, truth)
+            assert max(r.recall for r in results) > 0.85
+
+    def test_qps_property(self):
+        from repro.baselines.engines import EngineResult
+        point = EngineResult("x", {}, 1.0, 2.0)
+        assert point.qps == 500.0
+
+
+class TestMilvusBaseline:
+    def test_ingestion_charges_write_node(self, rng):
+        schema = CollectionSchema(
+            [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=8)])
+        cluster = MilvusLikeCluster(num_query_nodes=1,
+                                    ingest_ms_per_row=1.0)
+        cluster.create_collection("c", schema)
+        cluster.insert("c", {"vector": rng.standard_normal(
+            (100, 8)).astype(np.float32)})
+        # 100 rows at 1 ms each queued on the combined write node.
+        assert cluster.write_node.busy_until_ms >= 100.0
+
+    def test_temp_indexes_disabled(self, rng):
+        schema = CollectionSchema(
+            [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=8)])
+        cluster = MilvusLikeCluster(num_query_nodes=1)
+        cluster.create_collection("c", schema)
+        cluster.insert("c", {"vector": rng.standard_normal(
+            (2000, 8)).astype(np.float32)})
+        cluster.run_for(500)
+        for node in cluster.query_coord.live_nodes():
+            for sid in node.segments_of("c"):
+                segment = node.segment("c", sid)
+                assert segment.num_temp_indexes("vector") == 0
+
+    def test_search_always_eventual(self, rng):
+        schema = CollectionSchema(
+            [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=8)])
+        cluster = MilvusLikeCluster(num_query_nodes=1)
+        cluster.create_collection("c", schema)
+        data = {"vector": rng.standard_normal((50, 8)).astype(np.float32)}
+        cluster.insert("c", data)
+        cluster.run_for(200)
+        from repro.core.consistency import ConsistencyLevel
+        result = cluster.search("c", data["vector"][0], 1,
+                                consistency=ConsistencyLevel.STRONG)[0]
+        assert result.consistency_wait_ms == 0.0  # forced eventual
+
+
+class TestBohb:
+    def test_finds_good_config_on_synthetic_objective(self):
+        space = SearchSpace((
+            IntParam("nprobe", 1, 64, log=True),
+            CategoricalParam("index", ("ivf", "hnsw")),
+        ))
+
+        def utility(config, budget):
+            # Peak at nprobe=32 with hnsw; budget adds precision.
+            base = 1.0 - abs(config["nprobe"] - 32) / 64.0
+            bonus = 0.2 if config["index"] == "hnsw" else 0.0
+            return (base + bonus) * budget
+
+        tuner = BohbTuner(space, utility, seed=1,
+                          min_budget_fraction=0.25)
+        best = tuner.run(num_brackets=3, initial_configs=16)
+        assert best.budget_fraction == 1.0
+        assert abs(best.config["nprobe"] - 32) <= 16
+        assert len(tuner.trials) > 10
+
+    def test_budget_allocation_increases(self):
+        space = SearchSpace((IntParam("x", 0, 10),))
+        tuner = BohbTuner(space, lambda c, b: -abs(c["x"] - 5), seed=0,
+                          min_budget_fraction=0.25)
+        tuner.run(num_brackets=1, initial_configs=8)
+        budgets = sorted({t.budget_fraction for t in tuner.trials})
+        assert budgets[0] == 0.25
+        assert budgets[-1] == 1.0
+        # Fewer trials at larger budgets (successive halving).
+        small = sum(t.budget_fraction == budgets[0] for t in tuner.trials)
+        big = sum(t.budget_fraction == budgets[-1] for t in tuner.trials)
+        assert small > big
+
+    def test_param_sampling_bounds(self):
+        rng = np.random.default_rng(0)
+        param = IntParam("x", 4, 64, log=True)
+        for _ in range(100):
+            value = param.sample(rng)
+            assert 4 <= value <= 64
+            assert 4 <= param.perturb(value, rng) <= 64
+
+    def test_categorical_perturb_stays_in_choices(self):
+        rng = np.random.default_rng(0)
+        param = CategoricalParam("c", ("a", "b"))
+        for _ in range(50):
+            assert param.perturb("a", rng) in ("a", "b")
+
+    def test_invalid_settings(self):
+        space = SearchSpace((IntParam("x", 0, 1),))
+        with pytest.raises(ValueError):
+            BohbTuner(space, lambda c, b: 0, min_budget_fraction=0)
+        with pytest.raises(ValueError):
+            BohbTuner(space, lambda c, b: 0, eta=1)
+
+    def test_best_before_run_rejected(self):
+        space = SearchSpace((IntParam("x", 0, 1),))
+        tuner = BohbTuner(space, lambda c, b: 0)
+        with pytest.raises(RuntimeError):
+            tuner.best()

@@ -1,0 +1,272 @@
+"""Tests for the future-work extensions: tiered index, keyword
+co-processor + hybrid search, coordinator leader election, and the text
+dashboard."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.manu import ManuCluster
+from repro.coord.election import LeaderElection
+from repro.coproc.keyword import KeywordCoProcessor, hybrid_search, tokenize
+from repro.core.results import SearchHit, SearchResult
+from repro.core.schema import CollectionSchema, DataType, FieldSchema, \
+    MetricType
+from repro.errors import IndexBuildError
+from repro.index.flat import FlatIndex
+from repro.index.tiered import TieredIndex
+from repro.monitoring.dashboard import collection_view, render, system_view
+from repro.sim.events import EventLoop
+from repro.storage.metastore import MetaStore
+
+
+class TestTieredIndex:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(13)
+        centers = rng.standard_normal((10, 32)).astype(np.float32) * 5
+        assign = rng.integers(0, 10, 1500)
+        vectors = centers[assign] + rng.standard_normal(
+            (1500, 32)).astype(np.float32)
+        queries = vectors[rng.choice(1500, 20, replace=False)]
+        return vectors, queries
+
+    def test_results_match_flat_oracle(self, data):
+        vectors, queries = data
+        tiered = TieredIndex(MetricType.EUCLIDEAN, 32, hot_fraction=0.1,
+                             nprobe=16)
+        tiered.build(vectors)
+        flat = FlatIndex(MetricType.EUCLIDEAN, 32)
+        flat.build(vectors)
+        truth, _ = flat.search(queries, 10)
+        ids, _ = tiered.search(queries, 10)
+        hits = sum(len(set(map(int, r)) & set(map(int, t)))
+                   for r, t in zip(ids, truth))
+        assert hits / truth.size > 0.8
+
+    def test_no_duplicate_results(self, data):
+        vectors, queries = data
+        tiered = TieredIndex(MetricType.EUCLIDEAN, 32)
+        tiered.build(vectors)
+        ids, _ = tiered.search(queries, 20)
+        for row in ids:
+            valid = [int(x) for x in row if x >= 0]
+            assert len(valid) == len(set(valid))
+
+    def test_rebalance_promotes_popular(self, data):
+        vectors, queries = data
+        tiered = TieredIndex(MetricType.EUCLIDEAN, 32, hot_fraction=0.05)
+        tiered.build(vectors)
+        # Hammer a skewed query set; the returned vectors become hot.
+        hot_queries = queries[:3]
+        for _ in range(5):
+            ids, _ = tiered.search(hot_queries, 10)
+        popular = set(int(x) for x in ids.ravel() if x >= 0)
+        changed = tiered.rebalance()
+        assert changed > 0
+        hot = set(tiered.hot_set().tolist())
+        overlap = len(popular & hot) / len(popular)
+        assert overlap > 0.8, "popular vectors should be promoted"
+
+    def test_hot_tier_size_respected(self, data):
+        vectors, _ = data
+        tiered = TieredIndex(MetricType.EUCLIDEAN, 32, hot_fraction=0.2)
+        tiered.build(vectors)
+        assert tiered.hot_size == int(1500 * 0.2)
+        tiered.rebalance()
+        assert tiered.hot_size == int(1500 * 0.2)
+
+    def test_dram_far_below_full(self, data):
+        vectors, _ = data
+        tiered = TieredIndex(MetricType.EUCLIDEAN, 32, hot_fraction=0.1)
+        tiered.build(vectors)
+        assert tiered.dram_bytes() < vectors.nbytes / 2
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(IndexBuildError):
+            TieredIndex(MetricType.EUCLIDEAN, 32, hot_fraction=1.5)
+
+
+class TestKeywordCoProcessor:
+    @pytest.fixture
+    def rig(self):
+        cluster = ManuCluster(num_query_nodes=1)
+        schema = CollectionSchema([
+            FieldSchema("vector", DataType.FLOAT_VECTOR, dim=8),
+            FieldSchema("title", DataType.STRING),
+        ])
+        cluster.create_collection("docs", schema)
+        coproc = KeywordCoProcessor(cluster.broker, "docs", "title",
+                                    cluster.config.log.num_shards)
+        return cluster, coproc
+
+    def _insert(self, cluster, titles, rng):
+        return cluster.insert("docs", {
+            "vector": rng.standard_normal(
+                (len(titles), 8)).astype(np.float32),
+            "title": titles})
+
+    def test_tokenize(self):
+        assert tokenize("Hello, World! 42") == ["hello", "world", "42"]
+
+    def test_indexes_from_log(self, rig, rng):
+        cluster, coproc = rig
+        pks = self._insert(cluster, ["red shoes", "blue shoes",
+                                     "red wine"], rng)
+        cluster.run_for(100)
+        assert coproc.num_documents == 3
+        hits = coproc.search("red")
+        assert {h.pk for h in hits} == {pks[0], pks[2]}
+
+    def test_tfidf_ranking(self, rig, rng):
+        cluster, coproc = rig
+        pks = self._insert(cluster, [
+            "rare gem", "gem gem gem", "common word salad"], rng)
+        cluster.run_for(100)
+        hits = coproc.search("gem")
+        # The gem-dense document ranks first.
+        assert hits[0].pk == pks[1]
+
+    def test_deletes_consumed_from_log(self, rig, rng):
+        cluster, coproc = rig
+        pks = self._insert(cluster, ["alpha beta", "alpha gamma"], rng)
+        cluster.run_for(100)
+        cluster.delete("docs", f"_auto_id == {pks[0]}")
+        cluster.run_for(100)
+        hits = coproc.search("alpha")
+        assert [h.pk for h in hits] == [pks[1]]
+        assert coproc.num_documents == 1
+
+    def test_consistency_gate_advances(self, rig, rng):
+        cluster, coproc = rig
+        self._insert(cluster, ["tick tock"], rng)
+        cluster.run_for(200)  # several time-ticks
+        assert coproc.gate.ticks_consumed > 0
+        assert coproc.ready(0)
+
+    def test_empty_query(self, rig):
+        _cluster, coproc = rig
+        assert coproc.search("") == []
+        assert coproc.search("!!!") == []
+
+    def test_close_stops_consumption(self, rig, rng):
+        cluster, coproc = rig
+        coproc.close()
+        self._insert(cluster, ["late arrival"], rng)
+        cluster.run_for(100)
+        assert coproc.num_documents == 0
+
+
+class TestHybridSearch:
+    def _vector_result(self, pks):
+        hits = [SearchHit(float(i), pk) for i, pk in enumerate(pks)]
+        return SearchResult(hits=hits, metric=MetricType.EUCLIDEAN,
+                            latency_ms=1.0)
+
+    def test_agreement_boosts(self):
+        vector = self._vector_result([1, 2, 3])
+        keyword = [SearchHit(-2.0, 3), SearchHit(-1.0, 4)]
+        fused = hybrid_search(vector, keyword, k=4)
+        # pk 3 appears in both rankings -> first.
+        assert fused.pks[0] == 3
+        assert set(fused.pks) == {1, 2, 3, 4}
+
+    def test_k_zero(self):
+        fused = hybrid_search(self._vector_result([1]), [], k=0)
+        assert len(fused) == 0
+
+    def test_keyword_only(self):
+        fused = hybrid_search(self._vector_result([]),
+                              [SearchHit(-1.0, "a")], k=3)
+        assert fused.pks == ["a"]
+
+
+class TestLeaderElection:
+    def _make(self, loop, meta, name, events, ttl=300.0, hb=100.0):
+        return LeaderElection(
+            meta, loop, "root-coord", name, lease_ttl_ms=ttl,
+            heartbeat_ms=hb,
+            on_elected=lambda c: events.append(("up", c)),
+            on_deposed=lambda c: events.append(("down", c)))
+
+    def test_first_candidate_wins(self):
+        loop = EventLoop()
+        meta = MetaStore()
+        events = []
+        a = self._make(loop, meta, "coord-a", events)
+        a.start()
+        assert a.is_leader
+        assert a.current_leader() == "coord-a"
+        assert events == [("up", "coord-a")]
+
+    def test_backup_does_not_usurp(self):
+        loop = EventLoop()
+        meta = MetaStore()
+        events = []
+        a = self._make(loop, meta, "coord-a", events)
+        b = self._make(loop, meta, "coord-b", events)
+        a.start()
+        b.start()
+        loop.run_for(1_000)
+        assert a.is_leader and not b.is_leader
+        assert a.current_leader() == "coord-a"
+
+    def test_failover_on_crash(self):
+        loop = EventLoop()
+        meta = MetaStore()
+        events = []
+        a = self._make(loop, meta, "coord-a", events)
+        b = self._make(loop, meta, "coord-b", events)
+        a.start()
+        b.start()
+        loop.run_for(500)
+        a.crash()  # stops heart-beating without releasing the lease
+        loop.run_for(1_000)  # lease (300 ms) expires; b campaigns
+        assert b.is_leader
+        assert b.current_leader() == "coord-b"
+
+    def test_graceful_stop_hands_over_immediately(self):
+        loop = EventLoop()
+        meta = MetaStore()
+        events = []
+        a = self._make(loop, meta, "coord-a", events)
+        b = self._make(loop, meta, "coord-b", events)
+        a.start()
+        b.start()
+        a.stop()
+        loop.run_for(200)  # next heartbeat of b
+        assert b.is_leader
+        assert ("down", "coord-a") in events
+
+    def test_heartbeat_must_beat_lease(self):
+        with pytest.raises(ValueError):
+            LeaderElection(MetaStore(), EventLoop(), "e", "c",
+                           lease_ttl_ms=100.0, heartbeat_ms=200.0)
+
+
+class TestDashboard:
+    def test_renders_live_cluster(self, rng):
+        cluster = ManuCluster(num_query_nodes=2)
+        schema = CollectionSchema(
+            [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=8)])
+        cluster.create_collection("demo", schema)
+        cluster.insert("demo", {"vector": rng.standard_normal(
+            (100, 8)).astype(np.float32)})
+        cluster.run_for(200)
+        cluster.flush("demo")
+        cluster.create_index("demo", "vector", "FLAT",
+                             MetricType.EUCLIDEAN)
+        cluster.wait_for_indexes("demo")
+        cluster.search("demo", rng.standard_normal(8), 3)
+
+        text = render(cluster)
+        assert "MANU SYSTEM VIEW" in text
+        assert "QUERY NODES" in text
+        assert "qn-0" in text and "qn-1" in text
+        assert "demo" in text
+        assert "vector:FLAT" in text
+        assert "LOADED" in text
+
+    def test_views_standalone(self):
+        cluster = ManuCluster(num_query_nodes=1)
+        assert "SYSTEM VIEW" in system_view(cluster)
+        assert "COLLECTIONS" in collection_view(cluster)

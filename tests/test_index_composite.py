@@ -1,0 +1,164 @@
+"""Tests for the modularized bucketer x compressor framework."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.schema import MetricType
+from repro.errors import IndexBuildError
+from repro.index.composite import (
+    CompositeIndex,
+    GraphBucketer,
+    ImiBucketer,
+    KMeansBucketer,
+    NoneCompressor,
+    PqCompressor,
+    RqCompressor,
+    SqCompressor,
+)
+from repro.index.flat import FlatIndex
+
+DIM = 32
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(8)
+    centers = rng.standard_normal((12, DIM)).astype(np.float32) * 5
+    assign = rng.integers(0, 12, 1200)
+    vectors = centers[assign] + rng.standard_normal(
+        (1200, DIM)).astype(np.float32)
+    queries = vectors[rng.choice(1200, 15, replace=False)]
+    return vectors, queries
+
+
+@pytest.fixture(scope="module")
+def truth(data):
+    vectors, queries = data
+    flat = FlatIndex(MetricType.EUCLIDEAN, DIM)
+    flat.build(vectors)
+    ids, _ = flat.search(queries, 10)
+    return ids
+
+
+ALL_COMBOS = list(itertools.product(("kmeans", "imi", "graph"),
+                                    ("none", "sq", "pq", "rq")))
+
+
+@pytest.mark.parametrize("bucketer,compressor", ALL_COMBOS)
+class TestAllCombinations:
+    def test_recall_reasonable(self, bucketer, compressor, data, truth):
+        vectors, queries = data
+        index = CompositeIndex(MetricType.EUCLIDEAN, DIM,
+                               bucketer=bucketer, compressor=compressor,
+                               nlist=24, nprobe=8, ksub=8, m=8, stages=4)
+        index.build(vectors)
+        ids, _ = index.search(queries, 10)
+        hits = sum(len(set(map(int, r)) & set(map(int, t)))
+                   for r, t in zip(ids, truth))
+        recall = hits / truth.size
+        floor = 0.7 if compressor in ("none", "sq") else 0.35
+        assert recall >= floor, \
+            f"{bucketer} x {compressor}: recall {recall}"
+
+    def test_stats_counted_on_right_path(self, bucketer, compressor, data):
+        vectors, queries = data
+        index = CompositeIndex(MetricType.EUCLIDEAN, DIM,
+                               bucketer=bucketer, compressor=compressor,
+                               nlist=24, nprobe=4, ksub=8)
+        index.build(vectors)
+        index.search(queries[:2], 5)
+        stats = index.stats
+        if compressor == "none":
+            assert stats.quantized_comparisons == 0
+            assert stats.float_comparisons > 0
+        else:
+            assert stats.quantized_comparisons > 0
+
+
+class TestCompression:
+    def test_compression_shrinks_memory(self, data):
+        vectors, _ = data
+        sizes = {}
+        for compressor in ("none", "sq", "pq"):
+            index = CompositeIndex(MetricType.EUCLIDEAN, DIM,
+                                   compressor=compressor, m=8)
+            index.build(vectors)
+            sizes[compressor] = index.memory_bytes_estimate()
+        assert sizes["sq"] * 4 == sizes["none"]
+        assert sizes["pq"] < sizes["sq"]
+
+    def test_describe(self):
+        index = CompositeIndex(MetricType.EUCLIDEAN, DIM,
+                               bucketer="graph", compressor="rq")
+        assert index.describe() == "graph x rq"
+
+
+class TestValidation:
+    def test_unknown_bucketer(self):
+        with pytest.raises(IndexBuildError):
+            CompositeIndex(MetricType.EUCLIDEAN, DIM, bucketer="magic")
+
+    def test_unknown_compressor(self):
+        with pytest.raises(IndexBuildError):
+            CompositeIndex(MetricType.EUCLIDEAN, DIM, compressor="magic")
+
+    def test_imi_requires_euclidean(self):
+        with pytest.raises(IndexBuildError):
+            CompositeIndex(MetricType.INNER_PRODUCT, DIM, bucketer="imi")
+
+    def test_imi_requires_even_dim(self, data):
+        index = CompositeIndex(MetricType.EUCLIDEAN, 33, bucketer="imi")
+        with pytest.raises(IndexBuildError):
+            index.build(np.zeros((10, 33), dtype=np.float32))
+
+
+class TestBucketers:
+    def test_kmeans_probe_order(self, data):
+        vectors, queries = data
+        from repro.index.base import SearchStats
+        bucketer = KMeansBucketer(MetricType.EUCLIDEAN, nlist=16)
+        assignments = bucketer.fit(vectors)
+        assert assignments.shape == (len(vectors),)
+        probes = bucketer.probe(queries[0], 4, SearchStats())
+        assert len(probes) == 4
+        assert len(set(probes)) == 4
+        # The query's own bucket (it is a database vector) is probed first.
+        own = assignments[np.flatnonzero(
+            (vectors == queries[0]).all(axis=1))[0]]
+        assert probes[0] == own
+
+    def test_imi_cells_cover_everything(self, data):
+        vectors, _ = data
+        bucketer = ImiBucketer(MetricType.EUCLIDEAN, ksub=8)
+        assignments = bucketer.fit(vectors)
+        assert (assignments >= 0).all()
+        assert assignments.max() + 1 == bucketer.num_buckets
+
+    def test_graph_probe_returns_valid_buckets(self, data):
+        vectors, queries = data
+        from repro.index.base import SearchStats
+        bucketer = GraphBucketer(MetricType.EUCLIDEAN, nlist=32)
+        bucketer.fit(vectors)
+        probes = bucketer.probe(queries[0], 6, SearchStats())
+        assert all(0 <= b < bucketer.num_buckets for b in probes)
+
+
+class TestCompressors:
+    @pytest.mark.parametrize("cls,kwargs", [
+        (NoneCompressor, {}),
+        (SqCompressor, {"dim": DIM}),
+        (PqCompressor, {"dim": DIM, "m": 8}),
+        (RqCompressor, {"dim": DIM, "stages": 4}),
+    ])
+    def test_roundtrip_shape(self, cls, kwargs, data):
+        vectors, _ = data
+        compressor = cls(**kwargs)
+        compressor.train(vectors)
+        decoded = compressor.decode(compressor.encode(vectors[:20]))
+        assert decoded.shape == (20, DIM)
+        # Reconstruction stays in the data's ballpark.
+        err = np.mean((decoded - vectors[:20]) ** 2)
+        scale = np.mean(vectors[:20] ** 2)
+        assert err <= scale

@@ -1,0 +1,182 @@
+"""Tests for distance kernels and k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.schema import MetricType
+from repro.index.distances import (
+    adjusted_distances,
+    cosine,
+    inner_product,
+    squared_l2,
+    to_user_score,
+    topk_smallest,
+)
+from repro.index.kmeans import hierarchical_balanced_kmeans, kmeans
+
+
+def naive_l2(q, d):
+    return np.array([[np.sum((qi - di) ** 2) for di in d] for qi in q])
+
+
+class TestDistances:
+    def test_squared_l2_matches_naive(self, rng):
+        q = rng.standard_normal((5, 8)).astype(np.float32)
+        d = rng.standard_normal((7, 8)).astype(np.float32)
+        assert np.allclose(squared_l2(q, d), naive_l2(q, d), atol=1e-3)
+
+    def test_l2_nonnegative(self, rng):
+        q = rng.standard_normal((10, 16)).astype(np.float32) * 100
+        assert (squared_l2(q, q) >= 0).all()
+
+    def test_l2_self_distance_zero(self, rng):
+        x = rng.standard_normal((6, 8)).astype(np.float32)
+        assert np.allclose(np.diag(squared_l2(x, x)), 0.0, atol=1e-3)
+
+    def test_inner_product(self):
+        q = np.array([[1.0, 0.0]], dtype=np.float32)
+        d = np.array([[2.0, 5.0], [0.0, 1.0]], dtype=np.float32)
+        assert np.allclose(inner_product(q, d), [[2.0, 0.0]])
+
+    def test_cosine_bounds_and_zero_vectors(self, rng):
+        q = rng.standard_normal((4, 8)).astype(np.float32)
+        d = rng.standard_normal((6, 8)).astype(np.float32)
+        sims = cosine(q, d)
+        assert (sims <= 1.0 + 1e-5).all() and (sims >= -1.0 - 1e-5).all()
+        zero = np.zeros((1, 8), dtype=np.float32)
+        assert np.allclose(cosine(zero, d), 0.0)
+
+    def test_adjusted_smaller_is_more_similar(self, rng):
+        q = rng.standard_normal((1, 8)).astype(np.float32)
+        near = q + 0.01
+        far = q + 10.0
+        d = np.concatenate([near, far])
+        for metric in MetricType:
+            adj = adjusted_distances(q, d, metric)[0]
+            assert adj[0] < adj[1], metric
+
+    def test_1d_queries_accepted(self, rng):
+        q = rng.standard_normal(8).astype(np.float32)
+        d = rng.standard_normal((3, 8)).astype(np.float32)
+        assert adjusted_distances(q, d, MetricType.EUCLIDEAN).shape == (1, 3)
+
+    def test_to_user_score_euclidean_sqrt(self):
+        assert to_user_score(np.array([9.0]), MetricType.EUCLIDEAN) == \
+            pytest.approx([3.0])
+
+    def test_to_user_score_ip_negates(self):
+        assert to_user_score(np.array([-0.5]),
+                             MetricType.INNER_PRODUCT) == pytest.approx([0.5])
+
+    @given(hnp.arrays(np.float32, (6, 4),
+                      elements=st.floats(-100, 100, width=32)))
+    @settings(max_examples=30)
+    def test_l2_symmetry_property(self, data):
+        d = squared_l2(data, data)
+        assert np.allclose(d, d.T, atol=1e-1)
+
+
+class TestTopkSmallest:
+    def test_returns_sorted_smallest(self):
+        values = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        ids, vals = topk_smallest(values, 3)
+        assert ids.tolist() == [1, 3, 2]
+        assert vals.tolist() == [1.0, 2.0, 3.0]
+
+    def test_k_larger_than_n(self):
+        ids, vals = topk_smallest(np.array([2.0, 1.0]), 5)
+        assert ids.tolist() == [1, 0]
+
+    def test_k_zero(self):
+        ids, _vals = topk_smallest(np.array([1.0]), 0)
+        assert len(ids) == 0
+
+    def test_2d_batched(self, rng):
+        values = rng.standard_normal((4, 20))
+        ids, vals = topk_smallest(values, 5)
+        assert ids.shape == (4, 5)
+        for row in range(4):
+            expected = np.sort(values[row])[:5]
+            assert np.allclose(vals[row], expected)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+           st.integers(1, 20))
+    @settings(max_examples=40)
+    def test_matches_full_sort(self, values, k):
+        arr = np.asarray(values)
+        _ids, vals = topk_smallest(arr, k)
+        assert np.allclose(vals, np.sort(arr)[:min(k, len(arr))])
+
+
+class TestKMeans:
+    def test_separated_clusters_recovered(self, rng):
+        centers = np.array([[0, 0], [50, 50], [-50, 50]], dtype=np.float32)
+        data = np.concatenate([
+            centers[i] + rng.standard_normal((30, 2)).astype(np.float32)
+            for i in range(3)])
+        result = kmeans(data, 3, seed=1)
+        # Each true cluster maps to exactly one k-means cluster.
+        labels = [set(result.assignments[i * 30:(i + 1) * 30])
+                  for i in range(3)]
+        assert all(len(s) == 1 for s in labels)
+        assert len(set.union(*labels)) == 3
+
+    def test_deterministic_for_seed(self, rng):
+        data = rng.standard_normal((100, 4)).astype(np.float32)
+        a = kmeans(data, 5, seed=3)
+        b = kmeans(data, 5, seed=3)
+        assert np.array_equal(a.centroids, b.centroids)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_k_clamped_to_n(self, rng):
+        data = rng.standard_normal((3, 4)).astype(np.float32)
+        result = kmeans(data, 10)
+        assert result.k == 3
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 4), dtype=np.float32), 2)
+
+    def test_identical_points_handled(self):
+        data = np.ones((20, 4), dtype=np.float32)
+        result = kmeans(data, 4)
+        assert result.assignments.shape == (20,)
+
+    def test_assignments_are_nearest_centroid(self, rng):
+        data = rng.standard_normal((80, 6)).astype(np.float32)
+        result = kmeans(data, 6, seed=2)
+        dists = squared_l2(data, result.centroids)
+        assert np.array_equal(result.assignments, dists.argmin(axis=1))
+
+
+class TestHierarchicalKMeans:
+    def test_respects_size_cap(self, rng):
+        data = rng.standard_normal((500, 8)).astype(np.float32)
+        result = hierarchical_balanced_kmeans(data, max_cluster_size=32)
+        sizes = np.bincount(result.assignments, minlength=result.k)
+        assert sizes.max() <= 32
+        assert sizes.sum() == 500
+
+    def test_every_point_assigned(self, rng):
+        data = rng.standard_normal((200, 4)).astype(np.float32)
+        result = hierarchical_balanced_kmeans(data, max_cluster_size=16)
+        assert (result.assignments >= 0).all()
+        assert (result.assignments < result.k).all()
+
+    def test_degenerate_identical_points(self):
+        data = np.ones((100, 4), dtype=np.float32)
+        result = hierarchical_balanced_kmeans(data, max_cluster_size=10)
+        sizes = np.bincount(result.assignments, minlength=result.k)
+        assert sizes.max() <= 10
+
+    def test_small_input_single_leaf(self, rng):
+        data = rng.standard_normal((5, 4)).astype(np.float32)
+        result = hierarchical_balanced_kmeans(data, max_cluster_size=32)
+        assert result.k == 1
+
+    def test_bad_cap_rejected(self, rng):
+        with pytest.raises(ValueError):
+            hierarchical_balanced_kmeans(
+                rng.standard_normal((5, 2)).astype(np.float32), 0)

@@ -1,0 +1,176 @@
+"""Family-specific tests for the quantizers (PQ, OPQ, RQ, SQ)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schema import MetricType
+from repro.errors import IndexBuildError
+from repro.index.opq import OpqRotation
+from repro.index.pq import ProductQuantizer
+from repro.index.rq import ResidualQuantizer
+from repro.index.sq import ScalarQuantizer
+
+
+@pytest.fixture
+def train_data(rng):
+    centers = rng.standard_normal((8, 16)).astype(np.float32) * 3
+    assign = rng.integers(0, 8, 600)
+    return centers[assign] + rng.standard_normal((600, 16)).astype(
+        np.float32) * 0.5
+
+
+class TestProductQuantizer:
+    def test_dim_must_divide(self):
+        with pytest.raises(IndexBuildError):
+            ProductQuantizer(dim=10, m=3)
+
+    def test_codes_shape_and_dtype(self, train_data):
+        pq = ProductQuantizer(16, m=4)
+        pq.train(train_data)
+        codes = pq.encode(train_data[:50])
+        assert codes.shape == (50, 4)
+        assert codes.dtype == np.uint8
+
+    def test_reconstruction_reduces_with_m(self, train_data):
+        errors = []
+        for m in (2, 4, 8):
+            pq = ProductQuantizer(16, m=m)
+            pq.train(train_data)
+            errors.append(pq.reconstruction_error(train_data))
+        assert errors[0] > errors[-1]  # finer subspaces, better recon
+
+    def test_untrained_rejected(self, train_data):
+        pq = ProductQuantizer(16, m=4)
+        with pytest.raises(IndexBuildError):
+            pq.encode(train_data)
+
+    def test_adc_matches_decoded_distance(self, train_data, rng):
+        """ADC lookup equals distance to the reconstructed vector."""
+        pq = ProductQuantizer(16, m=4)
+        pq.train(train_data)
+        codes = pq.encode(train_data[:20])
+        query = rng.standard_normal(16).astype(np.float32)
+        table = pq.adc_table(query, MetricType.EUCLIDEAN)
+        adc = ProductQuantizer.adc_scan(table, codes)
+        decoded = pq.decode(codes)
+        exact = ((decoded - query) ** 2).sum(axis=1)
+        assert np.allclose(adc, exact, rtol=1e-3, atol=1e-2)
+
+    def test_adc_ip_matches(self, train_data, rng):
+        pq = ProductQuantizer(16, m=4)
+        pq.train(train_data)
+        codes = pq.encode(train_data[:20])
+        query = rng.standard_normal(16).astype(np.float32)
+        table = pq.adc_table(query, MetricType.INNER_PRODUCT)
+        adc = ProductQuantizer.adc_scan(table, codes)
+        exact = -(pq.decode(codes) @ query)
+        assert np.allclose(adc, exact, rtol=1e-3, atol=1e-2)
+
+    def test_small_nbits(self, train_data):
+        pq = ProductQuantizer(16, m=4, nbits=4)
+        pq.train(train_data)
+        codes = pq.encode(train_data[:10])
+        assert codes.max() < 16
+
+
+class TestScalarQuantizer:
+    def test_roundtrip_error_bounded(self, train_data):
+        sq = ScalarQuantizer(16)
+        sq.train(train_data)
+        decoded = sq.decode(sq.encode(train_data))
+        max_err = sq.max_error()
+        assert (np.abs(decoded - train_data) <= max_err[None, :]
+                + 1e-5).all()
+
+    def test_compression_is_4x(self, train_data):
+        sq = ScalarQuantizer(16)
+        sq.train(train_data)
+        codes = sq.encode(train_data)
+        assert codes.nbytes * 4 == train_data.nbytes
+
+    def test_out_of_range_clipped(self, train_data):
+        sq = ScalarQuantizer(16)
+        sq.train(train_data)
+        wild = train_data[:1] * 100
+        codes = sq.encode(wild)
+        assert codes.min() >= 0 and codes.max() <= 255
+
+    def test_constant_dimension_handled(self):
+        data = np.zeros((50, 4), dtype=np.float32)
+        data[:, 0] = 7.0
+        sq = ScalarQuantizer(4)
+        sq.train(data)
+        decoded = sq.decode(sq.encode(data))
+        assert np.allclose(decoded[:, 0], 7.0, atol=1e-4)
+
+    def test_untrained_rejected(self):
+        with pytest.raises(IndexBuildError):
+            ScalarQuantizer(4).encode(np.zeros((1, 4), dtype=np.float32))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20)
+    def test_quantization_error_half_step(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-10, 10, (100, 4)).astype(np.float32)
+        sq = ScalarQuantizer(4)
+        sq.train(data)
+        decoded = sq.decode(sq.encode(data))
+        assert (np.abs(decoded - data) <= sq.max_error()[None, :]
+                + 1e-4).all()
+
+
+class TestResidualQuantizer:
+    def test_stage_errors_non_increasing(self, train_data):
+        rq = ResidualQuantizer(16, stages=5)
+        rq.train(train_data)
+        errors = rq.stage_errors(train_data)
+        assert len(errors) == 5
+        for prev, cur in zip(errors, errors[1:]):
+            assert cur <= prev + 1e-5
+
+    def test_more_stages_better(self, train_data):
+        shallow = ResidualQuantizer(16, stages=1)
+        shallow.train(train_data)
+        deep = ResidualQuantizer(16, stages=6)
+        deep.train(train_data)
+        assert deep.reconstruction_error(train_data) < \
+            shallow.reconstruction_error(train_data)
+
+    def test_codes_shape(self, train_data):
+        rq = ResidualQuantizer(16, stages=3)
+        rq.train(train_data)
+        assert rq.encode(train_data[:7]).shape == (7, 3)
+
+    def test_invalid_params(self):
+        with pytest.raises(IndexBuildError):
+            ResidualQuantizer(8, stages=0)
+        with pytest.raises(IndexBuildError):
+            ResidualQuantizer(8, nbits=9)
+
+
+class TestOpqRotation:
+    def test_rotation_is_orthogonal(self, train_data):
+        opq = OpqRotation(16, m=4, train_iters=3)
+        opq.train(train_data)
+        should_be_eye = opq.rotation @ opq.rotation.T
+        assert np.allclose(should_be_eye, np.eye(16), atol=1e-4)
+
+    def test_opq_not_worse_than_pq(self, train_data):
+        pq = ProductQuantizer(16, m=4)
+        pq.train(train_data)
+        opq = OpqRotation(16, m=4, train_iters=5)
+        opq.train(train_data)
+        # OPQ optimizes the same objective with an extra rotation; allow a
+        # small tolerance for local minima.
+        assert opq.reconstruction_error(train_data) <= \
+            pq.reconstruction_error(train_data) * 1.10
+
+    def test_rotation_preserves_distances(self, train_data, rng):
+        opq = OpqRotation(16, m=4, train_iters=2)
+        opq.train(train_data)
+        a = rng.standard_normal((5, 16)).astype(np.float32)
+        b = rng.standard_normal((5, 16)).astype(np.float32)
+        before = np.linalg.norm(a - b, axis=1)
+        after = np.linalg.norm(opq.rotate(a) - opq.rotate(b), axis=1)
+        assert np.allclose(before, after, rtol=1e-4)

@@ -1,0 +1,186 @@
+"""Tests for the SSD index and the attribute indexes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schema import MetricType
+from repro.errors import IndexBuildError
+from repro.index.attr import BTreeIndex, LabelIndex, SortedListIndex
+from repro.index.flat import FlatIndex
+from repro.index.ssd import BLOCK_BYTES, SsdIndex
+
+
+@pytest.fixture(scope="module")
+def ssd_data():
+    rng = np.random.default_rng(9)
+    centers = rng.standard_normal((16, 64)).astype(np.float32) * 5
+    assign = rng.integers(0, 16, 2000)
+    data = centers[assign] + rng.standard_normal((2000, 64)).astype(
+        np.float32)
+    queries = data[rng.choice(2000, 15, replace=False)]
+    return data, queries
+
+
+class TestSsdIndex:
+    def test_buckets_fit_4kb_blocks(self, ssd_data):
+        data, _ = ssd_data
+        index = SsdIndex(MetricType.EUCLIDEAN, 64, replicas=1)
+        index.build(data)
+        # 64 dims at 1 byte each -> 64 vectors per 4 KB block.
+        assert index.bucket_capacity == BLOCK_BYTES // 64
+        assert index.bucket_sizes().max() <= index.bucket_capacity
+
+    def test_replication_improves_recall(self):
+        # Multi-assignment pays off when k-means boundaries split query
+        # neighborhoods — uniform data is the boundary-dominated regime.
+        rng = np.random.default_rng(9)
+        data = rng.standard_normal((2000, 64)).astype(np.float32)
+        queries = data[rng.choice(2000, 20, replace=False)] + \
+            rng.standard_normal((20, 64)).astype(np.float32) * 0.05
+        flat = FlatIndex(MetricType.EUCLIDEAN, 64)
+        flat.build(data)
+        truth, _ = flat.search(queries, 10)
+
+        def recall(replicas):
+            index = SsdIndex(MetricType.EUCLIDEAN, 64, nprobe=8,
+                             replicas=replicas, seed=3)
+            index.build(data)
+            ids, _ = index.search(queries, 10)
+            hits = sum(len(set(map(int, r)) & set(map(int, t)))
+                       for r, t in zip(ids, truth))
+            return hits / truth.size
+
+        assert recall(3) > recall(1)
+
+    def test_ssd_blocks_counted(self, ssd_data):
+        data, queries = ssd_data
+        index = SsdIndex(MetricType.EUCLIDEAN, 64, nprobe=6, replicas=1)
+        index.build(data)
+        index.search(queries[:3], 5)
+        # 3 queries x 6 buckets x 1 block each.
+        assert index.stats.ssd_blocks_read == 18
+
+    def test_no_duplicate_results(self, ssd_data):
+        data, queries = ssd_data
+        index = SsdIndex(MetricType.EUCLIDEAN, 64, nprobe=8, replicas=3)
+        index.build(data)
+        ids, _ = index.search(queries, 20)
+        for row in ids:
+            valid = [int(x) for x in row if x >= 0]
+            assert len(valid) == len(set(valid))
+
+    def test_dram_far_smaller_than_ssd(self, ssd_data):
+        data, _ = ssd_data
+        index = SsdIndex(MetricType.EUCLIDEAN, 64, replicas=1)
+        index.build(data)
+        assert index.dram_bytes() < data.nbytes / 4
+        assert index.ssd_bytes() >= index.num_buckets * BLOCK_BYTES
+
+    def test_invalid_replicas(self):
+        with pytest.raises(IndexBuildError):
+            SsdIndex(MetricType.EUCLIDEAN, 64, replicas=0)
+
+    def test_large_dim_multi_block_buckets(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((100, 8192)).astype(np.float32)
+        index = SsdIndex(MetricType.EUCLIDEAN, 8192, replicas=1)
+        assert index.blocks_per_bucket == 2  # 8192 bytes SQ = 2 blocks
+
+
+class TestSortedListIndex:
+    def test_range_queries(self):
+        index = SortedListIndex([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert index.range(2.0, 4.0).tolist() == [2, 3, 4]  # rows of 3,2,4
+        assert index.range(low=3.0).tolist() == [0, 2, 4]
+        assert index.range(high=2.0).tolist() == [1, 3]
+        assert index.range().tolist() == [0, 1, 2, 3, 4]
+
+    def test_open_intervals(self):
+        index = SortedListIndex([1.0, 2.0, 3.0])
+        assert index.range(1.0, 3.0, include_low=False,
+                           include_high=False).tolist() == [1]
+
+    def test_equal_and_duplicates(self):
+        index = SortedListIndex([2.0, 1.0, 2.0])
+        assert index.equal(2.0).tolist() == [0, 2]
+        assert index.equal(9.0).tolist() == []
+
+    def test_selectivity(self):
+        index = SortedListIndex([1.0, 2.0, 3.0, 4.0])
+        assert index.selectivity(2.0, 3.0) == 0.5
+        assert index.min_value() == 1.0 and index.max_value() == 4.0
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=60),
+           st.floats(-100, 100), st.floats(-100, 100))
+    @settings(max_examples=40)
+    def test_matches_naive_filter(self, values, a, b):
+        low, high = min(a, b), max(a, b)
+        index = SortedListIndex(values)
+        expected = sorted(i for i, v in enumerate(values)
+                          if low <= v <= high)
+        assert index.range(low, high).tolist() == expected
+
+
+class TestBTreeIndex:
+    def test_insert_and_range(self):
+        tree = BTreeIndex(order=4)
+        values = [9, 1, 7, 3, 5, 2, 8, 4, 6, 0]
+        tree.insert_many(values, range(10))
+        got = tree.range(3, 7)
+        expected = sorted(i for i, v in enumerate(values) if 3 <= v <= 7)
+        assert got.tolist() == expected
+
+    def test_duplicates_accumulate(self):
+        tree = BTreeIndex(order=4)
+        for row in range(5):
+            tree.insert(1.0, row)
+        assert tree.equal(1.0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_balanced_depth(self):
+        tree = BTreeIndex(order=8)
+        tree.insert_many(range(500), range(500))
+        # order-8 B-tree over 500 keys stays shallow.
+        assert tree.depth() <= 5
+        assert tree.n == 500
+
+    def test_open_ranges(self):
+        tree = BTreeIndex(order=4)
+        tree.insert_many([1, 2, 3], [0, 1, 2])
+        assert tree.range(low=2).tolist() == [1, 2]
+        assert tree.range(high=2, include_high=False).tolist() == [0]
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BTreeIndex(order=2)
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=120),
+           st.integers(-50, 50), st.integers(-50, 50))
+    @settings(max_examples=40)
+    def test_matches_naive_filter(self, values, a, b):
+        low, high = min(a, b), max(a, b)
+        tree = BTreeIndex(order=6)
+        tree.insert_many(values, range(len(values)))
+        expected = sorted(i for i, v in enumerate(values)
+                          if low <= v <= high)
+        assert tree.range(low, high).tolist() == expected
+
+
+class TestLabelIndex:
+    def test_equal_and_isin(self):
+        index = LabelIndex(["a", "b", "a", "c"])
+        assert index.equal("a").tolist() == [0, 2]
+        assert index.isin(["a", "c"]).tolist() == [0, 2, 3]
+        assert index.equal("zzz").tolist() == []
+
+    def test_incremental_add(self):
+        index = LabelIndex()
+        for label in ("x", "y", "x"):
+            index.add(label)
+        assert index.equal("x").tolist() == [0, 2]
+        assert index.vocabulary() == ["x", "y"]
+
+    def test_selectivity(self):
+        index = LabelIndex(["a", "a", "b", "c"])
+        assert index.selectivity(["a"]) == 0.5
+        assert LabelIndex().selectivity(["a"]) == 0.0

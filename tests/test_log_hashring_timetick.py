@@ -1,0 +1,138 @@
+"""Tests for the consistent-hash ring and the time-tick emitter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tso import Timestamp, TimestampOracle
+from repro.log.broker import LogBroker
+from repro.log.hashring import HashRing
+from repro.log.timetick import TimeTickEmitter
+from repro.log.wal import TimeTickRecord
+from repro.sim.events import EventLoop
+
+
+class TestHashRing:
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["n1"])
+        assert all(ring.owner(f"k{i}") == "n1" for i in range(50))
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ValueError):
+            HashRing().owner("k")
+
+    def test_deterministic_ownership(self):
+        a = HashRing(["n1", "n2", "n3"])
+        b = HashRing(["n3", "n1", "n2"])  # insertion order irrelevant
+        assert all(a.owner(f"k{i}") == b.owner(f"k{i}") for i in range(100))
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(["n1"])
+        ring.add_node("n1")
+        assert len(ring) == 1
+        ring.remove_node("nope")
+        assert len(ring) == 1
+
+    def test_distribution_roughly_balanced(self):
+        ring = HashRing([f"n{i}" for i in range(4)], vnodes_per_node=128)
+        counts = ring.distribution([f"key-{i}" for i in range(4000)])
+        assert min(counts.values()) > 500  # no starved node
+
+    def test_removal_only_moves_removed_nodes_keys(self):
+        """The consistent-hashing property: stability under churn."""
+        ring = HashRing(["n1", "n2", "n3", "n4"])
+        keys = [f"key-{i}" for i in range(500)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.remove_node("n2")
+        after = {k: ring.owner(k) for k in keys}
+        for key in keys:
+            if before[key] != "n2":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "n2"
+
+    def test_addition_only_steals_keys(self):
+        ring = HashRing(["n1", "n2"])
+        keys = [f"key-{i}" for i in range(500)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.add_node("n3")
+        after = {k: ring.owner(k) for k in keys}
+        for key in keys:
+            assert after[key] in (before[key], "n3")
+
+    def test_owners_replication(self):
+        ring = HashRing(["a", "b", "c"])
+        owners = ring.owners("key", 2)
+        assert len(owners) == 2
+        assert len(set(owners)) == 2
+        assert owners[0] == ring.owner("key")
+
+    def test_owners_clamped_to_ring_size(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring.owners("k", 10)) == 2
+
+    @given(st.sets(st.text(min_size=1, max_size=8), min_size=1,
+                   max_size=8),
+           st.text(min_size=1, max_size=16))
+    @settings(max_examples=50)
+    def test_owner_always_member(self, nodes, key):
+        ring = HashRing(nodes)
+        assert ring.owner(key) in nodes
+
+
+class TestTimeTickEmitter:
+    def _setup(self, interval=50.0):
+        loop = EventLoop()
+        tso = TimestampOracle(loop.now)
+        broker = LogBroker(loop)
+        broker.create_channel("c1")
+        broker.create_channel("c2")
+        emitter = TimeTickEmitter(loop, broker, tso, interval,
+                                  channels=["c1", "c2"])
+        return loop, broker, emitter
+
+    def test_periodic_emission_on_all_channels(self):
+        loop, broker, emitter = self._setup(50.0)
+        emitter.start()
+        loop.run_until(230)
+        for channel in ("c1", "c2"):
+            entries = broker.read(channel, 0)
+            assert len(entries) == 4  # at 50, 100, 150, 200
+            assert all(isinstance(e.payload, TimeTickRecord)
+                       for e in entries)
+
+    def test_tick_timestamps_track_clock(self):
+        loop, broker, emitter = self._setup(100.0)
+        emitter.start()
+        loop.run_until(350)
+        ticks = [e.payload.ts for e in broker.read("c1", 0)]
+        physicals = [Timestamp.unpack(ts).physical_ms for ts in ticks]
+        assert physicals == [100, 200, 300]
+
+    def test_stop_halts_emission(self):
+        loop, broker, emitter = self._setup(10.0)
+        emitter.start()
+        loop.run_until(35)
+        emitter.stop()
+        loop.run_until(200)
+        assert len(broker.read("c1", 0)) == 3
+
+    def test_add_channel_later(self):
+        loop, broker, emitter = self._setup(10.0)
+        broker.create_channel("c3")
+        emitter.start()
+        loop.run_until(15)
+        emitter.add_channel("c3")
+        loop.run_until(35)
+        assert len(broker.read("c3", 0)) == 2
+
+    def test_double_start_rejected(self):
+        _loop, _broker, emitter = self._setup()
+        emitter.start()
+        with pytest.raises(RuntimeError):
+            emitter.start()
+
+    def test_bad_interval_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            TimeTickEmitter(loop, LogBroker(loop),
+                            TimestampOracle(loop.now), 0.0)

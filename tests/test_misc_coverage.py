@@ -1,0 +1,145 @@
+"""Final coverage batch: behaviours not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro import Collection, CollectionSchema, DataType, FieldSchema, \
+    connect, connections
+from repro.cluster.manu import ManuCluster
+from repro.core.consistency import ConsistencyLevel
+from repro.core.results import SearchHit, SearchResult
+from repro.core.schema import MetricType
+from repro.index.composite import CompositeIndex
+from repro.index.tiered import TieredIndex
+from repro.log.timetick import TimeTickEmitter
+
+
+@pytest.fixture
+def schema():
+    return CollectionSchema(
+        [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=8)])
+
+
+class TestSessionConsistencyViaProxy:
+    def test_session_sees_own_writes_without_staleness(self, schema, rng):
+        """SESSION reads wait exactly until the session's last write is
+        consumed, independent of any staleness setting."""
+        cluster = ManuCluster(num_query_nodes=1, num_proxies=1)
+        cluster.create_collection("c", schema)
+        proxy = cluster.proxies[0]
+        data = {"vector": rng.standard_normal((10, 8)).astype(np.float32)}
+        pks = proxy.insert("c", data)
+        result = proxy.search("c", data["vector"][0], 1,
+                              consistency=ConsistencyLevel.SESSION,
+                              staleness_ms=0.0)[0]
+        assert result.pks[0] == pks[0]
+
+    def test_fresh_session_never_waits(self, schema, rng):
+        cluster = ManuCluster(num_query_nodes=1, num_proxies=2)
+        cluster.create_collection("c", schema)
+        writer, reader = cluster.proxies
+        writer.insert("c", {"vector": rng.standard_normal(
+            (5, 8)).astype(np.float32)})
+        # The reading proxy has no session writes: guarantee is 0.
+        result = reader.search("c", np.zeros(8, dtype=np.float32), 1,
+                               consistency=ConsistencyLevel.SESSION)[0]
+        assert result.consistency_wait_ms == 0.0
+
+
+class TestCollectionSurface:
+    def test_num_entities_reflects_deletes(self, schema, rng):
+        cluster = connect("cov", num_query_nodes=1)
+        try:
+            coll = Collection("c", schema, using="cov")
+            pks = coll.insert({"vector": rng.standard_normal(
+                (20, 8)).astype(np.float32)})
+            cluster.run_for(200)
+            assert coll.num_entities() == 20
+            coll.delete(f"_auto_id in [{pks[0]}, {pks[1]}]")
+            cluster.run_for(200)
+            assert coll.num_entities() == 18
+        finally:
+            connections.disconnect("cov")
+
+    def test_search_result_distances_property(self):
+        result = SearchResult(hits=[SearchHit(1.0, "a"),
+                                    SearchHit(2.0, "b")],
+                              metric=MetricType.EUCLIDEAN)
+        assert result.distances == [1.0, 2.0]
+
+
+class TestQueryNodePlacementSignals:
+    def test_memory_bytes_positive_after_load(self, schema, rng):
+        cluster = ManuCluster(num_query_nodes=1)
+        cluster.create_collection("c", schema)
+        cluster.insert("c", {"vector": rng.standard_normal(
+            (50, 8)).astype(np.float32)})
+        cluster.run_for(200)
+        node = cluster.query_coord.live_nodes()[0]
+        assert node.memory_bytes() > 0
+        assert node.num_rows("c") == 50
+        assert node.num_rows("other") == 0
+
+
+class TestLoggerMappingPersistence:
+    def test_flush_mappings_persists_sstables(self, schema, rng):
+        cluster = ManuCluster(num_query_nodes=1)
+        cluster.create_collection("c", schema)
+        cluster.insert("c", {"vector": rng.standard_normal(
+            (30, 8)).astype(np.float32)})
+        cluster.logger_service.flush_mappings()
+        assert cluster.store.list("mapping/c/")
+        assert cluster.logger_service.lookup_segment("c", 1) is not None
+
+
+class TestTimeTickChannelManagement:
+    def test_remove_channel_stops_its_ticks(self):
+        from repro.core.tso import TimestampOracle
+        from repro.log.broker import LogBroker
+        from repro.sim.events import EventLoop
+        loop = EventLoop()
+        broker = LogBroker(loop)
+        broker.create_channel("a")
+        broker.create_channel("b")
+        emitter = TimeTickEmitter(loop, broker, TimestampOracle(loop.now),
+                                  10.0, channels=["a", "b"])
+        emitter.start()
+        loop.run_until(25)
+        emitter.remove_channel("b")
+        loop.run_until(55)
+        emitter.stop()
+        assert broker.end_offset("a") == 5
+        assert broker.end_offset("b") == 2
+        assert emitter.ticks_emitted == 5
+
+
+class TestIndexExtras:
+    def test_composite_nprobe_override(self, rng):
+        data = rng.standard_normal((400, 16)).astype(np.float32)
+        index = CompositeIndex(MetricType.EUCLIDEAN, 16, nlist=16,
+                               nprobe=2)
+        index.build(data)
+        index.search(data[:3], 5, nprobe=16)
+        wide = index.stats.float_comparisons
+        index.search(data[:3], 5, nprobe=2)
+        narrow = index.stats.float_comparisons
+        assert wide > narrow
+
+    def test_tiered_hot_hit_fraction(self, rng):
+        data = rng.standard_normal((500, 16)).astype(np.float32)
+        index = TieredIndex(MetricType.EUCLIDEAN, 16, hot_fraction=0.5,
+                            nprobe=8)
+        index.build(data)
+        fraction = index.hot_hit_fraction(data[:10], 5)
+        assert 0.0 <= fraction <= 1.0
+        assert fraction > 0.2  # half the data is hot
+
+    def test_flat_incremental_add(self, rng):
+        from repro.index.flat import FlatIndex
+        index = FlatIndex(MetricType.EUCLIDEAN, 8)
+        index.add(rng.standard_normal((5, 8)).astype(np.float32))
+        index.add(rng.standard_normal((3, 8)).astype(np.float32))
+        assert index.ntotal == 8
+        vec = index.reconstruct(6)
+        ids, _ = index.search(vec, 1)
+        assert ids[0][0] == 6

@@ -1,0 +1,198 @@
+"""Stateful (model-based) property tests with hypothesis.
+
+Each machine drives a component through random operation sequences and
+checks it against a trivially correct model after every step:
+
+* :class:`BrokerMachine` — the log broker vs an append-only list per
+  channel: FIFO order, offset density, truncation and cursor semantics;
+* :class:`SegmentMachine` — a growing segment vs a dict model: append /
+  delete visibility and exact top-1 search against brute force;
+* :class:`RingMachine` — the consistent-hash ring: ownership is always a
+  member, and churn only moves keys touching the changed node.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.config import SegmentConfig
+from repro.core.schema import CollectionSchema, DataType, FieldSchema, \
+    MetricType
+from repro.core.segment import Segment
+from repro.log.broker import LogBroker
+from repro.log.hashring import HashRing
+
+
+class BrokerMachine(RuleBasedStateMachine):
+    """The broker must behave like a truncatable append-only list."""
+
+    def __init__(self):
+        super().__init__()
+        self.broker = LogBroker()
+        self.broker.create_channel("ch")
+        self.model: list[int] = []
+        self.base = 0
+        self.cursor = self.broker.subscribe("ch", "model-reader")
+        self.consumed: list[int] = []
+        self.counter = 0
+
+    @rule()
+    def publish(self):
+        offset = self.broker.publish("ch", self.counter)
+        assert offset == self.base + len(self.model)
+        self.model.append(self.counter)
+        self.counter += 1
+
+    @rule(n=st.integers(1, 5))
+    def poll(self, n):
+        entries = self.cursor.poll(max_entries=n)
+        self.consumed.extend(e.payload for e in entries)
+
+    @rule(keep=st.integers(0, 3))
+    def truncate(self, keep):
+        target = max(self.base,
+                     self.base + len(self.model) - keep)
+        dropped = self.broker.truncate("ch", target)
+        self.model = self.model[dropped:]
+        self.base += dropped
+
+    @invariant()
+    def offsets_are_dense(self):
+        assert self.broker.begin_offset("ch") == self.base
+        assert self.broker.end_offset("ch") == self.base + len(self.model)
+
+    @invariant()
+    def retained_entries_match_model(self):
+        entries = self.broker.read("ch", self.base, max_entries=10_000)
+        assert [e.payload for e in entries] == self.model
+        assert [e.offset for e in entries] == list(
+            range(self.base, self.base + len(self.model)))
+
+    @invariant()
+    def consumption_is_fifo_subsequence(self):
+        assert self.consumed == sorted(self.consumed)
+        assert len(set(self.consumed)) == len(self.consumed)
+
+
+TestBroker = BrokerMachine.TestCase
+TestBroker.settings = settings(max_examples=30,
+                               stateful_step_count=30,
+                               deadline=None)
+
+
+class SegmentMachine(RuleBasedStateMachine):
+    """A segment must agree with a dict model + brute-force search."""
+
+    def __init__(self):
+        super().__init__()
+        schema = CollectionSchema(
+            [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=4)])
+        self.segment = Segment("s", "c", schema,
+                               SegmentConfig(slice_size=8,
+                                             temp_index_nlist=2,
+                                             seal_entity_count=10**9))
+        self.model: dict[int, np.ndarray] = {}
+        self.next_pk = 0
+        self.rng = np.random.default_rng(0)
+
+    @rule(n=st.integers(1, 6))
+    def append(self, n):
+        pks = list(range(self.next_pk, self.next_pk + n))
+        vectors = self.rng.standard_normal((n, 4)).astype(np.float32)
+        self.segment.append(pks, {"vector": vectors}, lsn=self.next_pk)
+        for pk, vec in zip(pks, vectors):
+            self.model[pk] = vec
+        self.next_pk += n
+
+    @rule(which=st.integers(0, 200))
+    def delete(self, which):
+        pk = which % max(1, self.next_pk)
+        applied = self.segment.apply_delete([pk], lsn=10**6)
+        assert applied == (1 if pk in self.model else 0)
+        self.model.pop(pk, None)
+
+    @invariant()
+    def row_counts_agree(self):
+        assert self.segment.num_live_rows == len(self.model)
+
+    @invariant()
+    def exact_search_agrees_with_brute_force(self):
+        if not self.model:
+            return
+        # Probe with an existing vector: brute force over the model must
+        # name the same nearest pk (exact tie-free by construction).
+        pk = sorted(self.model)[0]
+        query = self.model[pk]
+        results = self.segment.search("vector", query, 1,
+                                      MetricType.EUCLIDEAN)
+        got = results[0][0]
+        pks = np.array(sorted(self.model))
+        vectors = np.stack([self.model[p] for p in pks])
+        dists = ((vectors - query) ** 2).sum(axis=1)
+        expected = int(pks[int(dists.argmin())])
+        assert got and got[0] == expected
+
+    @invariant()
+    def contains_matches_model(self):
+        for pk in list(self.model)[:3]:
+            assert self.segment.contains_pk(pk)
+        assert not self.segment.contains_pk(self.next_pk + 1)
+
+
+TestSegment = SegmentMachine.TestCase
+TestSegment.settings = settings(max_examples=20,
+                                stateful_step_count=25,
+                                deadline=None)
+
+
+class RingChurnMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ring = HashRing(["seed-node"])
+        self.members = {"seed-node"}
+        self.keys = [f"key-{i}" for i in range(64)]
+        self.owners = {k: self.ring.owner(k) for k in self.keys}
+        self.counter = 0
+
+    @rule()
+    def add_node(self):
+        name = f"node-{self.counter}"
+        self.counter += 1
+        before = dict(self.owners)
+        self.ring.add_node(name)
+        self.members.add(name)
+        after = {k: self.ring.owner(k) for k in self.keys}
+        # New nodes may only steal keys; nothing else moves.
+        for key in self.keys:
+            assert after[key] in (before[key], name)
+        self.owners = after
+
+    @rule(pick=st.integers(0, 1000))
+    def remove_node(self, pick):
+        removable = sorted(self.members)
+        if len(removable) <= 1:
+            return
+        victim = removable[pick % len(removable)]
+        before = dict(self.owners)
+        self.ring.remove_node(victim)
+        self.members.discard(victim)
+        after = {k: self.ring.owner(k) for k in self.keys}
+        # Only the victim's keys move.
+        for key in self.keys:
+            if before[key] != victim:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != victim
+        self.owners = after
+
+    @invariant()
+    def owners_are_members(self):
+        for key in self.keys[:8]:
+            assert self.ring.owner(key) in self.members
+
+
+TestRingChurn = RingChurnMachine.TestCase
+TestRingChurn.settings = settings(max_examples=20,
+                                  stateful_step_count=20,
+                                  deadline=None)

@@ -1,0 +1,151 @@
+"""Tests for hot replicas (replica-aware routing) and request batching."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.manu import ManuCluster
+from repro.config import ManuConfig, QueryConfig, SegmentConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.core.schema import CollectionSchema, DataType, FieldSchema
+
+
+@pytest.fixture
+def schema():
+    return CollectionSchema(
+        [FieldSchema("vector", DataType.FLOAT_VECTOR, dim=16)])
+
+
+def loaded_cluster(schema, rng, replicas=1, nodes=3, n=600,
+                   batch_window_ms=0.0):
+    config = ManuConfig(
+        query=QueryConfig(replica_number=replicas,
+                          batch_window_ms=batch_window_ms),
+        segment=SegmentConfig(seal_entity_count=128))
+    cluster = ManuCluster(config=config, num_query_nodes=nodes)
+    cluster.create_collection("c", schema)
+    vectors = rng.standard_normal((n, 16)).astype(np.float32)
+    cluster.insert("c", {"vector": vectors})
+    cluster.run_for(300)
+    cluster.flush("c")
+    return cluster, vectors
+
+
+class TestHotReplicas:
+    def test_segments_placed_on_replica_nodes(self, schema, rng):
+        cluster, _ = loaded_cluster(schema, rng, replicas=2)
+        for holders in cluster.query_coord._assignments.values():
+            assert len(holders) == 2
+
+    def test_plan_uses_one_holder_per_segment(self, schema, rng):
+        cluster, _ = loaded_cluster(schema, rng, replicas=2)
+        plan = cluster.query_coord.search_plan("c")
+        covered = []
+        for _node, scope in plan:
+            assert scope is not None
+            covered.extend(scope)
+        flushed = set(cluster.data_coord.flushed_segments("c"))
+        assert sorted(covered) == sorted(covered)  # list is materialized
+        assert set(covered) == flushed
+        assert len(covered) == len(flushed)  # exactly one holder each
+
+    def test_plan_rotates_between_requests(self, schema, rng):
+        cluster, _ = loaded_cluster(schema, rng, replicas=2)
+        first = {node.name: scope
+                 for node, scope in cluster.query_coord.search_plan("c")}
+        second = {node.name: scope
+                  for node, scope in cluster.query_coord.search_plan("c")}
+        assert first != second  # rotation spreads load
+
+    def test_replicated_search_correct(self, schema, rng):
+        cluster, vectors = loaded_cluster(schema, rng, replicas=2)
+        for probe in (3, 77, 311):
+            result = cluster.search("c", vectors[probe], 1,
+                                    consistency=ConsistencyLevel.STRONG)[0]
+            assert result.pks[0] == probe + 1  # auto ids are 1-based
+
+    def test_replicas_survive_node_failure(self, schema, rng):
+        cluster, vectors = loaded_cluster(schema, rng, replicas=2)
+        victim = cluster.query_coord.node_names[0]
+        cluster.fail_query_node(victim)
+        cluster.run_for(300)
+        result = cluster.search("c", vectors[10], 1,
+                                consistency=ConsistencyLevel.STRONG)[0]
+        assert result.pks[0] == 11
+
+    def test_single_replica_plan_is_unscoped(self, schema, rng):
+        cluster, _ = loaded_cluster(schema, rng, replicas=1)
+        plan = cluster.query_coord.search_plan("c")
+        assert all(scope is None for _node, scope in plan)
+
+    def test_replicas_halve_per_node_segment_work(self, schema, rng):
+        """With 2 replicas each request touches each segment once, so the
+        total segments searched equals the single-replica case."""
+        cluster, vectors = loaded_cluster(schema, rng, replicas=2)
+        result = cluster.search("c", vectors[0], 5,
+                                consistency=ConsistencyLevel.STRONG)[0]
+        flushed = len(cluster.data_coord.flushed_segments("c"))
+        # growing leftovers may add a couple of segments
+        assert result.segments_searched <= flushed + 3
+
+
+class TestRequestBatching:
+    def test_window_accumulates_and_flushes(self, schema, rng):
+        cluster, vectors = loaded_cluster(schema, rng,
+                                          batch_window_ms=20.0)
+        proxy = cluster.proxies[0]
+        handles = [proxy.submit_search("c", vectors[i], 3,
+                                       consistency=ConsistencyLevel
+                                       .EVENTUAL)
+                   for i in range(5)]
+        assert all(not h.done for h in handles)
+        cluster.run_for(25)
+        assert all(h.done for h in handles)
+        assert proxy.batches_flushed == 1
+        for i, handle in enumerate(handles):
+            assert handle.result.pks[0] == i + 1
+
+    def test_different_types_batched_separately(self, schema, rng):
+        cluster, vectors = loaded_cluster(schema, rng,
+                                          batch_window_ms=20.0)
+        proxy = cluster.proxies[0]
+        proxy.submit_search("c", vectors[0], 3,
+                            consistency=ConsistencyLevel.EVENTUAL)
+        proxy.submit_search("c", vectors[1], 5,  # different k -> new batch
+                            consistency=ConsistencyLevel.EVENTUAL)
+        cluster.run_for(25)
+        assert proxy.batches_flushed == 2
+
+    def test_disabled_window_runs_immediately(self, schema, rng):
+        cluster, vectors = loaded_cluster(schema, rng,
+                                          batch_window_ms=0.0)
+        handle = cluster.proxies[0].submit_search(
+            "c", vectors[0], 3, consistency=ConsistencyLevel.EVENTUAL)
+        assert handle.done
+        assert handle.result.pks[0] == 1
+
+    def test_manual_flush(self, schema, rng):
+        cluster, vectors = loaded_cluster(schema, rng,
+                                          batch_window_ms=10_000.0)
+        proxy = cluster.proxies[0]
+        handles = [proxy.submit_search("c", vectors[i], 3,
+                                       consistency=ConsistencyLevel
+                                       .EVENTUAL) for i in range(3)]
+        flushed = proxy.flush_batches()
+        assert flushed == 3
+        assert all(h.done for h in handles)
+
+    def test_batching_amortizes_overhead(self, schema, rng):
+        """One batch of 8 pays less virtual time than 8 singles."""
+        cluster, vectors = loaded_cluster(schema, rng,
+                                          batch_window_ms=20.0)
+        proxy = cluster.proxies[0]
+        handles = [proxy.submit_search("c", vectors[i], 3,
+                                       consistency=ConsistencyLevel
+                                       .EVENTUAL) for i in range(8)]
+        cluster.run_for(25)
+        batched_latency = handles[0].result.latency_ms
+
+        single = cluster.search("c", vectors[0], 3,
+                                consistency=ConsistencyLevel.EVENTUAL)[0]
+        # A batch of 8 is cheaper than 8 sequential singles end-to-end.
+        assert batched_latency < 8 * single.latency_ms

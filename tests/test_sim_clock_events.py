@@ -1,0 +1,143 @@
+"""Tests for the virtual clock and discrete-event loop."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventLoop
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(50.0).now() == 50.0
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(12.5)
+        assert clock.now() == 12.5
+
+    def test_advance_by(self):
+        clock = VirtualClock(10.0)
+        clock.advance_by(5.0)
+        assert clock.now() == 15.0
+
+    def test_cannot_go_backwards(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance_by(-1.0)
+
+
+class TestEventLoop:
+    def test_call_after_fires_in_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_after(20, lambda: fired.append("b"))
+        loop.call_after(10, lambda: fired.append("a"))
+        loop.run_until(30)
+        assert fired == ["a", "b"]
+
+    def test_same_time_fifo(self):
+        loop = EventLoop()
+        fired = []
+        for tag in "abc":
+            loop.call_at(5.0, lambda t=tag: fired.append(t))
+        loop.run_until(5.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_lands_on_target(self):
+        loop = EventLoop()
+        loop.run_until(42.0)
+        assert loop.now() == 42.0
+
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.call_after(10, lambda: fired.append(1))
+        handle.cancel()
+        loop.run_until(20)
+        assert fired == []
+
+    def test_past_scheduling_clamped_to_now(self):
+        loop = EventLoop()
+        loop.run_until(100)
+        fired = []
+        loop.call_at(10, lambda: fired.append(1))
+        loop.run_for(1)
+        assert fired == [1]
+        assert loop.now() == 101
+
+    def test_callbacks_can_schedule(self):
+        loop = EventLoop()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            loop.call_after(5, lambda: fired.append("inner"))
+
+        loop.call_after(10, outer)
+        loop.run_until(20)
+        assert fired == ["outer", "inner"]
+
+    def test_call_every_fires_periodically(self):
+        loop = EventLoop()
+        ticks = []
+        handle = loop.call_every(10, lambda: ticks.append(loop.now()))
+        loop.run_until(35)
+        assert ticks == [10, 20, 30]
+        handle.cancel()
+        loop.run_until(100)
+        assert len(ticks) == 3
+
+    def test_call_every_custom_start_delay(self):
+        loop = EventLoop()
+        ticks = []
+        loop.call_every(10, lambda: ticks.append(loop.now()),
+                        start_delay_ms=0)
+        loop.run_until(25)
+        assert ticks == [0, 10, 20]
+
+    def test_call_every_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            EventLoop().call_every(0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().call_after(-1, lambda: None)
+
+    def test_run_until_idle_drains(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_after(5, lambda: fired.append(1))
+        loop.call_after(15, lambda: fired.append(2))
+        count = loop.run_until_idle()
+        assert count == 2 and fired == [1, 2]
+
+    def test_run_until_idle_guards_runaway(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.call_after(1, reschedule)
+
+        loop.call_after(1, reschedule)
+        with pytest.raises(RuntimeError):
+            loop.run_until_idle(max_events=100)
+
+    def test_peek_time_skips_cancelled(self):
+        loop = EventLoop()
+        handle = loop.call_after(5, lambda: None)
+        loop.call_after(10, lambda: None)
+        handle.cancel()
+        assert loop.peek_time() == 10
+
+    def test_step_advances_clock(self):
+        loop = EventLoop()
+        loop.call_after(7, lambda: None)
+        assert loop.step() is True
+        assert loop.now() == 7
+        assert loop.step() is False

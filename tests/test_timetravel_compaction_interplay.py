@@ -1,0 +1,131 @@
+"""Tests for the time-travel x compaction x retention interplay.
+
+Compaction must not break restorability of checkpoints taken before it
+(input binlogs they reference are preserved), and retention must clean
+those orphaned binlogs once the checkpoints expire.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.manu import ManuCluster
+from repro.config import ManuConfig, SegmentConfig
+from repro.core.schema import CollectionSchema, DataType, FieldSchema
+from repro.errors import TimeTravelError
+from repro.log.binlog import BinlogReader
+
+
+@pytest.fixture
+def schema():
+    return CollectionSchema([
+        FieldSchema("pk", DataType.INT64, is_primary=True),
+        FieldSchema("vector", DataType.FLOAT_VECTOR, dim=8),
+    ])
+
+
+def small_cluster():
+    config = ManuConfig(segment=SegmentConfig(
+        seal_entity_count=32, compaction_min_size=32,
+        compaction_target_size=128))
+    return ManuCluster(config=config, num_query_nodes=1)
+
+
+def insert(cluster, rng, pks):
+    cluster.insert("c", {
+        "pk": list(pks),
+        "vector": rng.standard_normal((len(pks), 8)).astype(np.float32)})
+
+
+class TestCompactionPreservesCheckpoints:
+    def test_restore_before_compaction_still_works(self, schema, rng):
+        cluster = small_cluster()
+        cluster.create_collection("c", schema)
+        insert(cluster, rng, range(20))
+        cluster.run_for(200)
+        cluster.flush("c")
+        insert(cluster, rng, range(20, 40))
+        cluster.run_for(200)
+        cluster.flush("c")
+        cluster.checkpoint("c")
+        t_before = cluster.now()
+        cluster.run_for(100)
+
+        new_ids = cluster.compact("c")
+        cluster.run_for(300)
+        assert new_ids  # small segments merged
+
+        restored = cluster.time_travel("c", t_before)
+        pks = {pk for seg in restored.values() for pk in seg.pks}
+        assert pks == set(range(40))
+
+    def test_unreferenced_inputs_are_deleted(self, schema, rng):
+        cluster = small_cluster()
+        cluster.create_collection("c", schema)
+        insert(cluster, rng, range(20))
+        cluster.run_for(200)
+        cluster.flush("c")
+        insert(cluster, rng, range(20, 40))
+        cluster.run_for(200)
+        cluster.flush("c")
+        before = set(BinlogReader(cluster.store).list_segments("c"))
+        # No checkpoints reference the inputs: compaction removes them.
+        cluster.compact("c")
+        cluster.run_for(300)
+        after = set(BinlogReader(cluster.store).list_segments("c"))
+        assert not (before & after)  # all inputs gone
+        assert any(sid.startswith("compacted-") for sid in after)
+
+
+class TestRetentionCleansOrphans:
+    def test_expired_checkpoint_releases_orphaned_binlogs(self, schema,
+                                                          rng):
+        cluster = small_cluster()
+        cluster.create_collection("c", schema)
+        insert(cluster, rng, range(20))
+        cluster.run_for(200)
+        cluster.flush("c")
+        insert(cluster, rng, range(20, 40))
+        cluster.run_for(200)
+        cluster.flush("c")
+        cluster.checkpoint("c")
+        t_checkpoint = cluster.now()
+        inputs = set(BinlogReader(cluster.store).list_segments("c"))
+
+        cluster.run_for(100)
+        cluster.compact("c")
+        cluster.run_for(300)
+        # Inputs preserved for the checkpoint.
+        remaining = set(BinlogReader(cluster.store).list_segments("c"))
+        assert inputs <= remaining
+
+        # Take a fresh checkpoint so retention has a survivor, then
+        # expire everything older than it.
+        cluster.run_for(100)
+        cluster.checkpoint("c")
+        dropped = cluster.apply_retention(
+            "c", expire_before_ms=t_checkpoint + 50)
+        assert dropped > 0
+        final = set(BinlogReader(cluster.store).list_segments("c"))
+        assert not (inputs & final)  # orphans cleaned
+
+        # The expired checkpoint is gone; restoring at its time fails
+        # loudly rather than returning wrong data.
+        with pytest.raises(TimeTravelError):
+            cluster.time_travel("c", t_checkpoint - 1000)
+
+    def test_post_compaction_checkpoint_restores(self, schema, rng):
+        cluster = small_cluster()
+        cluster.create_collection("c", schema)
+        insert(cluster, rng, range(20))
+        cluster.run_for(200)
+        cluster.flush("c")
+        insert(cluster, rng, range(20, 40))
+        cluster.run_for(200)
+        cluster.flush("c")
+        cluster.compact("c")
+        cluster.run_for(300)
+        cluster.checkpoint("c")
+        t_after = cluster.now()
+        restored = cluster.time_travel("c", t_after)
+        pks = {pk for seg in restored.values() for pk in seg.pks}
+        assert pks == set(range(40))
