@@ -14,9 +14,7 @@ from __future__ import annotations
 
 import itertools
 
-import numpy as np
 
-from repro.core.schema import MetricType
 from repro.datasets.synthetic import ground_truth, make_sift_like, \
     recall_at_k
 from repro.index.composite import CompositeIndex

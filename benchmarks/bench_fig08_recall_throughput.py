@@ -14,7 +14,6 @@ per-engine overheads from the shared cost model.  Recall is genuine
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.baselines.engines import (
     ElasticsearchLikeEngine,

@@ -15,7 +15,6 @@ IVF_PQ stand in for the paper's IVF-FLAT/HNSW pair — both real builds.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.cluster.manu import ManuCluster
 from repro.config import ManuConfig, SegmentConfig

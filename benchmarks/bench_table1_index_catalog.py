@@ -13,9 +13,7 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
-from repro.core.schema import MetricType
 from repro.datasets.synthetic import ground_truth, make_sift_like, \
     recall_at_k
 from repro.index import available_indexes, create_index

@@ -11,9 +11,7 @@ TPE-style candidate generation.
 Run: ``python examples/auto_tuning.py``
 """
 
-import numpy as np
 
-from repro.core.schema import MetricType
 from repro.datasets.synthetic import ground_truth, make_sift_like, \
     recall_at_k
 from repro.index.ivf import IvfFlatIndex

@@ -18,7 +18,6 @@ import numpy as np
 
 from repro import Collection, CollectionSchema, DataType, FieldSchema, \
     connect
-from repro.core.consistency import ConsistencyLevel
 from repro.core.schema import MetricType
 
 

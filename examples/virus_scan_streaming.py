@@ -19,7 +19,6 @@ import numpy as np
 
 from repro import Collection, CollectionSchema, DataType, FieldSchema, \
     connect, connections
-from repro.core.consistency import ConsistencyLevel
 
 
 def main() -> None:

@@ -33,7 +33,23 @@ from repro.core.schema import (
     FieldSchema,
     MetricType,
 )
-from repro.errors import ManuError
+from repro.errors import (
+    ChannelNotFound,
+    ClusterStateError,
+    CollectionAlreadyExists,
+    CollectionNotFound,
+    ConsistencyTimeout,
+    ExpressionError,
+    FieldNotFound,
+    IndexBuildError,
+    ManuError,
+    NodeNotFound,
+    ObjectNotFound,
+    RevisionConflict,
+    SchemaError,
+    StorageError,
+    TimeTravelError,
+)
 
 __version__ = "0.1.0"
 
@@ -50,5 +66,19 @@ __all__ = [
     "FieldSchema",
     "MetricType",
     "ManuError",
+    "SchemaError",
+    "CollectionNotFound",
+    "CollectionAlreadyExists",
+    "FieldNotFound",
+    "IndexBuildError",
+    "ExpressionError",
+    "ConsistencyTimeout",
+    "StorageError",
+    "ObjectNotFound",
+    "RevisionConflict",
+    "ChannelNotFound",
+    "NodeNotFound",
+    "ClusterStateError",
+    "TimeTravelError",
     "__version__",
 ]

@@ -1,0 +1,39 @@
+"""manu-lint: an invariant-checking static analysis suite for this repo.
+
+The paper states correctness invariants that Python cannot enforce at
+runtime without cost: LSN/time-tick monotonicity on the log backbone
+(Section 3.3), the delta-consistency wait condition ``Lr - Ls < tau``
+(Section 3.4), and a strict layering in which worker nodes coordinate only
+through the log.  ``repro.analysis`` checks the *static* shadow of those
+invariants over the repository's AST, so refactors that silently break the
+discipline are caught before any test runs.
+
+Rule families (each independently toggleable):
+
+========================  ====================================================
+``layering``              the import graph must follow the architecture DAG
+``timestamp-discipline``  no raw arithmetic on packed LSN ints outside the TSO
+``determinism``           the virtual clock is the only time/randomness source
+``error-hygiene``         public API raises ``ManuError`` only; no bare except
+``frozen-record``         WAL/binlog records are immutable once constructed
+========================  ====================================================
+
+Any finding can be suppressed in place::
+
+    something_flagged()  # manu-lint: disable=determinism -- justification
+
+Run the suite with ``python -m repro.analysis`` (see ``--help``), or from
+code via :func:`run_analysis`.
+"""
+
+from repro.analysis.base import Finding, Rule, Suppression
+from repro.analysis.engine import AnalysisReport, all_rules, run_analysis
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "run_analysis",
+]

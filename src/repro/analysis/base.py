@@ -1,0 +1,213 @@
+"""Shared infrastructure for manu-lint rules.
+
+A :class:`ModuleContext` wraps one parsed source file with everything a rule
+needs: the AST, the path relative to the analysis root, the architecture
+layer (first directory component), an import-alias map for resolving dotted
+call names, and the parsed ``# manu-lint:`` suppression comments.
+
+Rules subclass :class:`Rule`.  Per-module rules override ``check_module``;
+rules that need the whole project (the import graph, the frozen-record
+registry) override ``check_project``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+SUPPRESS_RE = re.compile(
+    r"#\s*manu-lint:\s*(disable|disable-file)="
+    r"(?P<rules>[a-z0-9_,-]+)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+
+    def format(self, with_hint: bool = True) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if with_hint and self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# manu-lint: disable=`` comment.
+
+    An inline comment suppresses findings on its own line; a standalone
+    comment suppresses the next code line (``target_line``), so a
+    suppression can sit above the statement it annotates, even across
+    follow-on comment lines.
+    """
+
+    path: str
+    line: int
+    rules: frozenset
+    reason: str = ""
+    file_level: bool = False
+    target_line: int = 0
+
+    def covers(self, rule: str, line: int) -> bool:
+        if rule not in self.rules and "all" not in self.rules:
+            return False
+        if self.file_level:
+            return True
+        return line in (self.line, self.target_line)
+
+
+def parse_suppressions(source: str, path: str) -> list[Suppression]:
+    """Extract suppression comments via the tokenizer (never from strings)."""
+    out: list[Suppression] = []
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for line, text in comments:
+        match = SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        rules = frozenset(r.strip() for r in
+                          match.group("rules").split(",") if r.strip())
+        target = line
+        if lines[line - 1].lstrip().startswith("#"):
+            # Standalone comment: anchor to the next code line.
+            for offset, rest in enumerate(lines[line:], start=line + 1):
+                stripped = rest.strip()
+                if stripped and not stripped.startswith("#"):
+                    target = offset
+                    break
+        out.append(Suppression(
+            path=path, line=line, rules=rules,
+            reason=(match.group("reason") or "").strip(),
+            file_level=match.group(1) == "disable-file",
+            target_line=target))
+    return out
+
+
+def _collect_aliases(tree: ast.AST, package: str) -> dict:
+    """Map local names to qualified dotted names from import statements."""
+    aliases: dict = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name if item.asname else item.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_import_from(node, package)
+            if base is None:
+                continue
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{base}.{item.name}"
+    return aliases
+
+
+def resolve_import_from(node: ast.ImportFrom, package: str) -> Optional[str]:
+    """The absolute module an ``from X import ...`` statement refers to."""
+    if node.level == 0:
+        return node.module
+    parts = package.split(".") if package else []
+    if node.level > len(parts):
+        return None
+    base = parts[:len(parts) - (node.level - 1)]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base) if base else None
+
+
+def qualified_name(node: ast.AST, aliases: dict) -> Optional[str]:
+    """Resolve ``np.random.rand`` -> ``numpy.random.rand`` etc."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    root = aliases.get(parts[0])
+    if root is not None:
+        parts[0:1] = root.split(".")
+    return ".".join(parts)
+
+
+class ModuleContext:
+    """One parsed module plus the metadata rules key off."""
+
+    def __init__(self, path: Path, root: Path, tree: ast.AST,
+                 source: str) -> None:
+        self.path = path
+        self.root = root
+        rel = path.relative_to(root)
+        self.relpath = rel.as_posix()
+        parts = ("repro",) + rel.with_suffix("").parts
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        self.module = ".".join(parts)
+        self.package = (self.module if path.name == "__init__.py"
+                        else ".".join(parts[:-1]))
+        self.layer = rel.parts[0] if len(rel.parts) > 1 else ""
+        self.tree = tree
+        self.source = source
+        self.suppressions = parse_suppressions(source, self.relpath)
+        self.aliases = _collect_aliases(tree, self.package)
+
+    def suppression_for(self, rule: str, line: int) -> Optional[Suppression]:
+        for sup in self.suppressions:
+            if sup.covers(rule, line):
+                return sup
+        return None
+
+    def finding(self, rule: str, node: ast.AST, message: str,
+                hint: str = "") -> Finding:
+        return Finding(rule=rule, path=self.relpath,
+                       line=getattr(node, "lineno", 1),
+                       message=message, hint=hint)
+
+
+@dataclass
+class Project:
+    """The full analysis target: a root directory of parsed modules."""
+
+    root: Path
+    modules: list = field(default_factory=list)
+    parse_errors: list = field(default_factory=list)
+
+    def by_relpath(self, relpath: str) -> Optional[ModuleContext]:
+        for ctx in self.modules:
+            if ctx.relpath == relpath:
+                return ctx
+        return None
+
+
+class Rule:
+    """Base class for manu-lint rules."""
+
+    id: str = ""
+    description: str = ""
+    paper_ref: str = ""
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for ctx in project.modules:
+            yield from self.check_module(ctx)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()

@@ -1,0 +1,88 @@
+"""Rule ``determinism``: the virtual clock is the only source of time.
+
+Every evaluation figure in this reproduction is replayed on the
+discrete-event clock in ``sim/clock.py`` (DESIGN.md); a stray
+``time.time()`` or unseeded RNG makes a run unreproducible and — worse —
+lets wall-clock time leak into LSN allocation, breaking the watermark
+property time-ticks rely on (Section 3.4).
+
+Flagged outside the whitelist:
+
+* wall-clock reads: ``time.time``/``monotonic``/``perf_counter``/... and
+  ``datetime.now``/``utcnow``/``today``;
+* the global ``random`` module (``random.random``, ``random.shuffle``, ...);
+* module-level ``numpy.random`` functions (``np.random.rand``, ...), and
+  ``default_rng()``/``RandomState()``/``random.Random()`` called with **no
+  seed argument** — seeded generator objects are the sanctioned idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleContext, Rule, qualified_name
+
+#: modules allowed to touch real time/randomness (the clock itself).
+WHITELIST_MODULES = ("sim/clock.py",)
+
+WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: numpy.random attributes that are fine when given an explicit seed.
+SEEDABLE = {"numpy.random.default_rng", "numpy.random.RandomState",
+            "random.Random"}
+
+#: numpy.random names that never draw from the global stream.
+NUMPY_SAFE = {"numpy.random.Generator", "numpy.random.SeedSequence",
+              "numpy.random.BitGenerator", "numpy.random.PCG64",
+              "numpy.random.Philox", "numpy.random.MT19937",
+              "numpy.random.SFC64"}
+
+_HINT = ("route time through the virtual clock (sim/clock.py) and "
+         "randomness through a seeded np.random.default_rng(seed)")
+
+
+class DeterminismRule(Rule):
+    id = "determinism"
+    description = ("wall-clock reads and global/unseeded randomness outside "
+                   "sim/clock.py")
+    paper_ref = "Section 3.4 (time-ticks); DESIGN.md (virtual clock)"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.relpath in WHITELIST_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = qualified_name(node.func, ctx.aliases)
+            if qual is None:
+                continue
+            if qual in WALL_CLOCK:
+                yield ctx.finding(
+                    self.id, node,
+                    f"wall-clock read {qual}() outside the virtual clock",
+                    hint=_HINT)
+            elif qual in SEEDABLE:
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"{qual}() without a seed is nondeterministic",
+                        hint="pass an explicit seed, e.g. default_rng(0)")
+            elif qual in NUMPY_SAFE:
+                continue
+            elif qual.startswith("numpy.random."):
+                yield ctx.finding(
+                    self.id, node,
+                    f"global numpy random stream call {qual}()",
+                    hint=_HINT)
+            elif qual.startswith("random.") and qual.count(".") == 1:
+                yield ctx.finding(
+                    self.id, node,
+                    f"global random module call {qual}()",
+                    hint=_HINT)

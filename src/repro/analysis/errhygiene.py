@@ -1,0 +1,106 @@
+"""Rule ``error-hygiene``: the public surface raises ``ManuError`` only.
+
+``repro.errors`` promises applications a single catchable base class.  That
+contract dies the first time ``api/`` or ``cluster/`` raises a bare
+``RuntimeError`` — so this rule walks ``errors.py``, collects every class
+transitively derived from ``ManuError`` (plus aliases such as
+``IndexBuildError``), and flags any ``raise`` of another exception type in
+those layers.  Re-raises (``raise`` / ``raise err``) are allowed.
+
+Independently, bare ``except:`` and ``except Exception/BaseException:`` are
+flagged *everywhere*: the log-replay recovery path (Section 3.3) depends on
+errors propagating, not being swallowed mid-apply.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.base import Finding, ModuleContext, Project, Rule
+
+#: layers whose raises make up the public API contract.
+PUBLIC_LAYERS = ("api", "cluster")
+
+#: module (relative to the analysis root) defining the error hierarchy.
+ERRORS_MODULE = "errors.py"
+
+BROAD_HANDLERS = {"Exception", "BaseException"}
+
+
+def collect_manu_errors(project: Project) -> set:
+    """Names of ManuError and every (transitive) subclass and alias."""
+    allowed = {"ManuError"}
+    ctx = project.by_relpath(ERRORS_MODULE)
+    if ctx is None:
+        return allowed
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                bases = {b.id for b in node.bases if isinstance(b, ast.Name)}
+                if bases & allowed and node.name not in allowed:
+                    allowed.add(node.name)
+                    changed = True
+            elif isinstance(node, ast.Assign):
+                # Aliases: IndexBuildError = IndexError_
+                if (isinstance(node.value, ast.Name)
+                        and node.value.id in allowed):
+                    for tgt in node.targets:
+                        if (isinstance(tgt, ast.Name)
+                                and tgt.id not in allowed):
+                            allowed.add(tgt.id)
+                            changed = True
+    return allowed
+
+
+def _raised_class_name(node: ast.Raise) -> Optional[str]:
+    """The exception class name a ``raise X(...)`` constructs, if any."""
+    exc = node.exc
+    if exc is None or isinstance(exc, ast.Name):
+        return None  # bare re-raise / re-raise of a caught variable
+    if not isinstance(exc, ast.Call):
+        return None
+    func = exc.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class ErrorHygieneRule(Rule):
+    id = "error-hygiene"
+    description = ("api/ and cluster/ may only raise ManuError subclasses; "
+                   "bare/broad except is flagged everywhere")
+    paper_ref = "Section 3.1 (API contract), Section 3.3 (failure recovery)"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        allowed = collect_manu_errors(project)
+        for ctx in project.modules:
+            yield from self._check(ctx, allowed)
+
+    def _check(self, ctx: ModuleContext, allowed: set) -> Iterable[Finding]:
+        public = ctx.layer in PUBLIC_LAYERS
+        for node in ast.walk(ctx.tree):
+            if public and isinstance(node, ast.Raise):
+                name = _raised_class_name(node)
+                if name is not None and name not in allowed:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"public layer {ctx.layer!r} raises {name}, which "
+                        "is not a ManuError subclass",
+                        hint=("raise a subclass from repro.errors so callers "
+                              "can catch ManuError"))
+            elif isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield ctx.finding(
+                        self.id, node, "bare except: swallows everything",
+                        hint="catch the narrowest exception that can occur")
+                elif (isinstance(node.type, ast.Name)
+                      and node.type.id in BROAD_HANDLERS):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"broad except {node.type.id}:",
+                        hint="catch the narrowest exception that can occur")

@@ -1,0 +1,157 @@
+"""Rule ``frozen-record``: WAL/binlog records are immutable after birth.
+
+Log records are the system's history: replay, time travel, and delta
+consistency (Sections 3.3-3.4) all assume a record's bytes never change
+after it is published.  Python's frozen dataclasses only guard the front
+door — ``object.__setattr__`` walks straight past them.
+
+Two checks:
+
+* ``object.__setattr__(...)`` anywhere outside a ``__post_init__``/
+  ``__setstate__`` method (the sanctioned frozen-dataclass init hooks);
+* plain attribute assignment ``rec.field = ...`` on a value whose type is
+  statically known (parameter/variable annotation, or direct constructor
+  call) to be a frozen dataclass defined under ``log/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.base import Finding, ModuleContext, Project, Rule
+
+#: directory whose frozen dataclasses form the record registry.
+RECORD_LAYER = "log"
+
+INIT_HOOKS = {"__post_init__", "__setstate__"}
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_frozen_dataclass(node: ast.ClassDef, frozen_names: set) -> bool:
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Call):
+            name = deco.func
+            target = name.attr if isinstance(name, ast.Attribute) else (
+                name.id if isinstance(name, ast.Name) else None)
+            if target == "dataclass":
+                for kw in deco.keywords:
+                    if (kw.arg == "frozen"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True):
+                        return True
+    # Frozen-ness is inherited: a dataclass subclass of a frozen dataclass
+    # must itself be frozen, so bases are enough.
+    return any(isinstance(b, ast.Name) and b.id in frozen_names
+               for b in node.bases)
+
+
+def collect_frozen_records(project: Project) -> set:
+    """Names of frozen dataclasses defined under ``log/``."""
+    frozen: set = set()
+    for ctx in project.modules:
+        if ctx.layer != RECORD_LAYER:
+            continue
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and _is_frozen_dataclass(
+                    node, frozen):
+                frozen.add(node.name)
+    return frozen
+
+
+def _annotation_name(node) -> str:
+    """Terminal class name of an annotation like ``wal.InsertRecord``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.rsplit(".", 1)[-1]
+    return ""
+
+
+def _record_typed_names(func: ast.AST, frozen: set) -> set:
+    """Local names statically typed as a frozen record inside ``func``."""
+    typed: set = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+            if arg.annotation is not None and _annotation_name(
+                    arg.annotation) in frozen:
+                typed.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name):
+            if _annotation_name(node.annotation) in frozen:
+                typed.add(node.target.id)
+        elif isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call):
+            if _annotation_name(node.value.func) in frozen:
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        typed.add(tgt.id)
+    return typed
+
+
+def _enclosing_function_map(tree: ast.AST) -> dict:
+    """Map each AST node to its innermost enclosing function node."""
+    owner: dict = {}
+
+    def visit(node: ast.AST, current: Optional[ast.AST]) -> None:
+        for child in ast.iter_child_nodes(node):
+            inner = child if isinstance(child, _FUNC_NODES) else current
+            owner[child] = inner
+            visit(child, inner)
+
+    visit(tree, None)
+    return owner
+
+
+class FrozenRecordRule(Rule):
+    id = "frozen-record"
+    description = ("no object.__setattr__ outside __post_init__, no "
+                   "attribute assignment on frozen WAL/binlog records")
+    paper_ref = "Section 3.3 (log replay), Section 3.5 (time travel)"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        frozen = collect_frozen_records(project)
+        for ctx in project.modules:
+            yield from self._check(ctx, frozen)
+
+    def _check(self, ctx: ModuleContext, frozen: set) -> Iterable[Finding]:
+        owners = _enclosing_function_map(ctx.tree)
+        typed_cache: dict = {}
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "__setattr__"
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "object"):
+                    func = owners.get(node)
+                    if func is None or func.name not in INIT_HOOKS:
+                        yield ctx.finding(
+                            self.id, node,
+                            "object.__setattr__ outside __post_init__ "
+                            "defeats frozen dataclass immutability",
+                            hint=("construct a new record (dataclasses."
+                                  "replace) instead of mutating in place"))
+            elif isinstance(node, ast.Assign):
+                func = owners.get(node)
+                if func is None:
+                    continue
+                if func not in typed_cache:
+                    typed_cache[func] = _record_typed_names(func, frozen)
+                typed = typed_cache[func]
+                for tgt in node.targets:
+                    if (isinstance(tgt, ast.Attribute)
+                            and isinstance(tgt.value, ast.Name)
+                            and tgt.value.id in typed):
+                        yield ctx.finding(
+                            self.id, node,
+                            "attribute assignment on frozen log record "
+                            f"{tgt.value.id!r}",
+                            hint=("log records are immutable history; use "
+                                  "dataclasses.replace to derive a new "
+                                  "record"))

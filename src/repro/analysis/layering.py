@@ -1,0 +1,69 @@
+"""Rule ``layering``: enforce the architecture DAG over the import graph.
+
+The paper's read/write-path separation (Section 2) only holds if the lower
+layers stay ignorant of the upper ones: ``core``/``index``/``storage`` are
+libraries that worker nodes *use*, and the log is the sole coordination
+channel between workers.  A ``core`` module importing ``nodes`` — or the
+log backbone importing a worker — would let state flow around the log,
+which is exactly the class of bug delta consistency cannot survive.
+
+The rule builds the ``repro.*`` import graph (absolute and relative imports
+both resolve) and reports every edge that violates the DAG, naming the
+offending edge so the fix is obvious.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    resolve_import_from,
+)
+
+#: layer -> layers it must never import (the architecture DAG, inverted).
+FORBIDDEN_EDGES = {
+    "core": ("nodes", "coord", "cluster", "api"),
+    "index": ("nodes", "coord", "cluster", "api"),
+    "storage": ("nodes", "coord", "cluster", "api"),
+    "log": ("nodes",),
+}
+
+
+def _imported_repro_layers(ctx: ModuleContext) -> Iterable:
+    """Yield ``(ast_node, layer, module)`` for every repro.* import."""
+    for node in ast.walk(ctx.tree):
+        targets: list[Optional[str]] = []
+        if isinstance(node, ast.Import):
+            targets = [item.name for item in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_import_from(node, ctx.package)
+            if base is not None:
+                targets = [base]
+        for module in targets:
+            if module and module.startswith("repro."):
+                yield node, module.split(".")[1], module
+
+
+class LayeringRule(Rule):
+    id = "layering"
+    description = ("core/index/storage must not import nodes/coord/cluster/"
+                   "api; log must not import nodes")
+    paper_ref = "Section 2 (layered architecture), Section 3.3 (log backbone)"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        forbidden = FORBIDDEN_EDGES.get(ctx.layer)
+        if not forbidden:
+            return
+        for node, layer, module in _imported_repro_layers(ctx):
+            if layer in forbidden:
+                yield ctx.finding(
+                    self.id, node,
+                    f"forbidden layer edge {ctx.layer!r} -> {layer!r} "
+                    f"(import of {module})",
+                    hint=("lower layers must stay ignorant of upper ones; "
+                          "pass the dependency in as a callable/value, or "
+                          "move the shared piece down the DAG"))

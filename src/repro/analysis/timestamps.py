@@ -1,0 +1,98 @@
+"""Rule ``timestamp-discipline``: no raw arithmetic on packed LSN ints.
+
+Packed hybrid timestamps (Section 3.4) carry physical milliseconds in the
+high 46 bits and a logical counter in the low 18.  Ordering comparisons
+between two packed values are sound (the packing is order-preserving), but
+``+``/``-`` and comparisons against numeric literals are not: ``ts + 1``
+bumps the logical counter, not time, and ``ts - tau`` silently borrows
+across the bit boundary — the canonical way a delta-consistency check
+(``Lr - Ls < tau``) goes wrong.  All arithmetic must round-trip through
+``Timestamp.pack``/``Timestamp.unpack`` in ``core/tso.py``.
+
+Heuristic: a value is LSN-shaped if its name (or terminal attribute) is
+``lsn``/``ts`` or ends in ``_lsn``/``_ts``.  Comparing two LSN-shaped
+values is allowed; ``==``/``!=`` against anything is allowed (sentinels).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleContext, Rule
+
+LSN_NAME = re.compile(r"(?:^|_)(?:lsn|ts)$")
+
+#: modules that implement the packing and may do raw bit arithmetic.
+EXEMPT_MODULES = ("core/tso.py",)
+
+_HINT = ("unpack first: Timestamp.unpack(ts) gives .physical_ms/.logical; "
+         "re-pack with .pack() (see core/tso.py)")
+
+
+def _is_lsn_name(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(LSN_NAME.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(LSN_NAME.search(node.attr))
+    return False
+
+
+def _is_numeric_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_numeric_literal(node.operand)
+    return False
+
+
+class TimestampDisciplineRule(Rule):
+    id = "timestamp-discipline"
+    description = ("raw +/- arithmetic or literal ordering comparisons on "
+                   "packed LSN values outside core/tso.py")
+    paper_ref = "Section 3.4 (hybrid timestamps, delta consistency)"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.relpath in EXEMPT_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.Add, ast.Sub)):
+                for side in (node.left, node.right):
+                    if _is_lsn_name(side):
+                        name = ast.unparse(side)
+                        yield ctx.finding(
+                            self.id, node,
+                            f"raw {type(node.op).__name__.lower()} "
+                            f"arithmetic on packed LSN value {name!r}",
+                            hint=_HINT)
+                        break
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, (ast.Add, ast.Sub)) and _is_lsn_name(node.target):
+                yield ctx.finding(
+                    self.id, node,
+                    "raw augmented arithmetic on packed LSN value "
+                    f"{ast.unparse(node.target)!r}",
+                    hint=_HINT)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(ctx, node)
+
+    def _check_compare(self, ctx: ModuleContext,
+                       node: ast.Compare) -> Iterable[Finding]:
+        operands = [node.left] + list(node.comparators)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            for lsn_side, other in ((left, right), (right, left)):
+                if _is_lsn_name(lsn_side) and _is_numeric_literal(other):
+                    yield ctx.finding(
+                        self.id, node,
+                        "ordering comparison of packed LSN value "
+                        f"{ast.unparse(lsn_side)!r} against literal "
+                        f"{ast.unparse(other)}",
+                        hint=("compare against another packed LSN, or "
+                              "unpack and compare .physical_ms"))
+                    break

@@ -22,7 +22,6 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Mapping, Optional
 
-import numpy as np
 
 from repro.config import DEFAULT_CONFIG, ManuConfig
 from repro.coord.data import DataCoordinator

@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.cluster.manu import ManuCluster
 from repro.config import ScalingConfig
+from repro.errors import ClusterStateError
 from repro.sim.events import Event
 
 
@@ -44,7 +45,7 @@ class Autoscaler:
 
     def start(self) -> None:
         if self._timer is not None:
-            raise RuntimeError("autoscaler already started")
+            raise ClusterStateError("autoscaler already started")
         self._timer = self.cluster.loop.call_every(
             self.policy.evaluation_interval_ms, self.evaluate,
             name="autoscaler")

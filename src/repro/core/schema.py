@@ -12,7 +12,7 @@ and never appears in user schemas.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.errors import FieldNotFound, SchemaError
@@ -84,6 +84,28 @@ class FieldSchema:
                 f"(got {self.dtype.value})")
 
 
+def _system_auto_id_field() -> FieldSchema:
+    """Construct the implicit ``_auto_id`` primary key field.
+
+    The name is reserved — ``FieldSchema.__post_init__`` rejects it for
+    user schemas precisely so that only this factory can create it — so
+    construction bypasses ``__init__`` and sets the frozen fields directly.
+    """
+    primary = FieldSchema.__new__(FieldSchema)
+    state = {
+        "name": AUTO_ID_FIELD,
+        "dtype": DataType.INT64,
+        "dim": 0,
+        "is_primary": True,
+        "description": "implicit auto-generated primary key",
+    }
+    for key, value in state.items():
+        # manu-lint: disable=frozen-record -- sole creation path for the
+        # reserved system field; __post_init__ rejects its name by design.
+        object.__setattr__(primary, key, value)
+    return primary
+
+
 class CollectionSchema:
     """A validated, immutable collection schema.
 
@@ -106,16 +128,7 @@ class CollectionSchema:
             raise SchemaError("at most one primary key field is allowed")
         self.auto_id = not primaries
         if self.auto_id:
-            primary = FieldSchema.__new__(FieldSchema)
-            # Bypass __post_init__ name-reservation check for the system
-            # field: it is reserved precisely so we can add it here.
-            object.__setattr__(primary, "name", AUTO_ID_FIELD)
-            object.__setattr__(primary, "dtype", DataType.INT64)
-            object.__setattr__(primary, "dim", 0)
-            object.__setattr__(primary, "is_primary", True)
-            object.__setattr__(primary, "description",
-                               "implicit auto-generated primary key")
-            fields = [primary] + fields
+            fields = [_system_auto_id_field()] + fields
         self.fields: tuple[FieldSchema, ...] = tuple(fields)
         self.description = description
 

@@ -13,7 +13,6 @@ from repro import (
     connections,
 )
 from repro.api.rest import RestApi
-from repro.core.consistency import ConsistencyLevel
 
 
 @pytest.fixture(autouse=True)

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.cluster.manu import ManuCluster
-from repro.config import LogConfig, ManuConfig, QueryConfig, SegmentConfig
+from repro.config import ManuConfig, SegmentConfig
 from repro.core.consistency import ConsistencyLevel
 from repro.core.schema import CollectionSchema, DataType, FieldSchema, \
     MetricType

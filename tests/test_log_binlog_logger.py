@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import SegmentConfig
 from repro.core.entity import validate_batch
 from repro.core.schema import CollectionSchema, DataType, FieldSchema
 from repro.core.tso import TimestampOracle

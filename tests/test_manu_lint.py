@@ -1,0 +1,31 @@
+"""Tier-1 integration: the repository itself must stay manu-lint clean.
+
+This is the pytest wiring that makes every tier-1 run also enforce the
+paper's invariants statically — a refactor that introduces a forbidden
+layer edge, raw LSN arithmetic, a wall-clock read, a non-ManuError raise
+in the public API, or a frozen-record mutation fails here with the exact
+file:line and a fix hint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import run_analysis
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_repo_is_manu_lint_clean_strict():
+    report = run_analysis(REPO_SRC, strict=True)
+    details = "\n".join(f.format() for f in
+                        report.parse_errors + report.findings)
+    assert report.ok, f"manu-lint findings:\n{details}"
+    assert report.modules_checked > 80  # the whole tree was actually walked
+
+
+def test_every_repo_suppression_is_justified():
+    report = run_analysis(REPO_SRC, strict=True)
+    for finding, suppression in report.suppressed:
+        assert suppression.reason, (
+            f"{finding.path}:{finding.line} suppressed without a reason")
