@@ -43,6 +43,7 @@ from repro.errors import (
     FieldNotFound,
     IndexBuildError,
     ManuError,
+    MonotonicityViolation,
     NodeNotFound,
     ObjectNotFound,
     RevisionConflict,
@@ -77,6 +78,7 @@ __all__ = [
     "ObjectNotFound",
     "RevisionConflict",
     "ChannelNotFound",
+    "MonotonicityViolation",
     "NodeNotFound",
     "ClusterStateError",
     "TimeTravelError",

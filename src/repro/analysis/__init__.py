@@ -10,13 +10,22 @@ discipline are caught before any test runs.
 
 Rule families (each independently toggleable):
 
-========================  ====================================================
-``layering``              the import graph must follow the architecture DAG
-``timestamp-discipline``  no raw arithmetic on packed LSN ints outside the TSO
-``determinism``           the virtual clock is the only time/randomness source
-``error-hygiene``         public API raises ``ManuError`` only; no bare except
-``frozen-record``         WAL/binlog records are immutable once constructed
-========================  ====================================================
+==========================  ==================================================
+``layering``                the import graph must follow the architecture DAG
+``timestamp-discipline``    no raw arithmetic on packed LSN ints outside TSO
+``determinism``             the virtual clock is the only time/random source
+``error-hygiene``           public API raises ``ManuError``; no bare except
+``frozen-record``           WAL/binlog records are immutable once constructed
+``pubsub-topology``         pub/sub call sites match the declared log graph
+``consistency-discipline``  guarantee ts + ready() wait on every fan-out
+``resource-discipline``     subscriptions/handles/locks are scoped
+==========================  ==================================================
+
+The last three are *whole-program* passes over an inter-procedural summary
+(:mod:`repro.analysis.summaries`); the declared pub/sub topology lives in
+:mod:`repro.analysis.topology` and its recovered twin is exported via
+``--format dot``/``json``.  The runtime twin of ``timestamp-discipline``
+is the ``MANU_CHECK=1`` environment flag (see ``log/broker.py``).
 
 Any finding can be suppressed in place::
 
@@ -28,6 +37,7 @@ code via :func:`run_analysis`.
 
 from repro.analysis.base import Finding, Rule, Suppression
 from repro.analysis.engine import AnalysisReport, all_rules, run_analysis
+from repro.analysis.pubsub import recover_topology
 
 __all__ = [
     "AnalysisReport",
@@ -35,5 +45,6 @@ __all__ = [
     "Rule",
     "Suppression",
     "all_rules",
+    "recover_topology",
     "run_analysis",
 ]

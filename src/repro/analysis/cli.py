@@ -1,6 +1,20 @@
 """Command line front end: ``python -m repro.analysis``.
 
 Exit codes: 0 clean, 1 findings (or parse errors), 2 usage error.
+
+Output formats:
+
+* ``text`` (default) — file:line findings with fix hints;
+* ``json`` — machine-readable report, including the recovered pub/sub
+  topology (the CI artifact);
+* ``github`` — GitHub workflow-annotation lines (``::error file=...``)
+  so CI failures annotate PRs inline;
+* ``dot`` — Graphviz digraph of the recovered pub/sub topology only.
+
+``--baseline FILE`` suppresses findings recorded in a baseline file
+(matched by rule+path+message, line numbers ignored so unrelated edits
+don't invalidate it); ``--update-baseline`` rewrites the file from the
+current findings, which is how a new rule lands incrementally.
 """
 
 from __future__ import annotations
@@ -11,7 +25,9 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.analysis.engine import all_rules, run_analysis
+from repro.analysis.engine import all_rules, load_project, run_analysis
+from repro.analysis.pubsub import recover_edges
+from repro.analysis.topology import topology_to_dict, topology_to_dot
 
 
 def _default_root() -> Path:
@@ -37,8 +53,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="RULE", help="run only these rule ids")
     parser.add_argument("--disable", action="append", default=None,
                         metavar="RULE", help="skip these rule ids")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format",
+                        choices=("text", "json", "github", "dot"),
+                        default="text",
                         help="output format (default: text)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help=("suppress findings recorded in FILE "
+                              "(rule+path+message match)"))
+    parser.add_argument("--update-baseline", action="store_true",
+                        help=("rewrite --baseline FILE from the current "
+                              "findings and exit 0"))
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
     return parser
@@ -51,16 +75,51 @@ def _print_rules() -> None:
             print(f"{'':22s} guards: {rule.paper_ref}")
 
 
+def _baseline_key(finding) -> tuple[str, str, str]:
+    return (finding.rule, finding.path, finding.message)
+
+
+def _load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    entries = json.loads(path.read_text(encoding="utf-8"))
+    return {(e["rule"], e["path"], e["message"]) for e in entries}
+
+
+def _write_baseline(path: Path, findings) -> None:
+    entries = [{"rule": f.rule, "path": f.path, "message": f.message}
+               for f in findings]
+    path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def _github_line(finding) -> str:
+    # One line per finding in GitHub's workflow-command syntax; the
+    # message must stay single-line.
+    message = finding.message.replace("\n", " ")
+    if finding.hint:
+        message += f" | hint: {finding.hint}"
+    return (f"::error file={finding.path},line={finding.line},"
+            f"title=manu-lint {finding.rule}::{message}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
         _print_rules()
         return 0
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
 
     root = Path(args.root) if args.root else _default_root()
     if not root.is_dir():
         print(f"error: not a directory: {root}", file=sys.stderr)
         return 2
+
+    if args.format == "dot":
+        print(topology_to_dot(recover_edges(load_project(root))), end="")
+        return 0
+
     try:
         report = run_analysis(root, select=args.select,
                               disable=args.disable, strict=args.strict)
@@ -68,7 +127,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if args.update_baseline:
+            _write_baseline(baseline_path, report.findings)
+            print(f"manu-lint: baseline updated with "
+                  f"{len(report.findings)} finding(s): {baseline_path}")
+            return 0
+        known = (_load_baseline(baseline_path)
+                 if baseline_path.is_file() else set())
+        kept, baselined = [], []
+        for finding in report.findings:
+            (baselined if _baseline_key(finding) in known
+             else kept).append(finding)
+        report.findings = kept
+        report.baselined = baselined
+
     if args.format == "json":
+        topo = topology_to_dict(recover_edges(load_project(root)))
         print(json.dumps({
             "root": str(report.root),
             "modules_checked": report.modules_checked,
@@ -78,7 +154,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 {"finding": vars(f), "reason": s.reason,
                  "suppression_line": s.line}
                 for f, s in report.suppressed],
+            "baselined": [vars(f)
+                          for f in getattr(report, "baselined", [])],
+            "topology": topo,
         }, indent=2))
+        return report.exit_code()
+
+    if args.format == "github":
+        for finding in report.parse_errors + report.findings:
+            print(_github_line(finding))
         return report.exit_code()
 
     for finding in report.parse_errors + report.findings:
@@ -86,6 +170,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     summary = (f"manu-lint: {report.modules_checked} modules, "
                f"{len(report.findings)} finding(s), "
                f"{len(report.suppressed)} suppressed")
+    baselined = getattr(report, "baselined", None)
+    if baselined:
+        summary += f", {len(baselined)} baselined"
     if report.parse_errors:
         summary += f", {len(report.parse_errors)} parse error(s)"
     print(summary)

@@ -15,10 +15,13 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis.base import Finding, ModuleContext, Project
+from repro.analysis.consistency import ConsistencyDisciplineRule
 from repro.analysis.determinism import DeterminismRule
 from repro.analysis.errhygiene import ErrorHygieneRule
 from repro.analysis.frozen import FrozenRecordRule
 from repro.analysis.layering import LayeringRule
+from repro.analysis.pubsub import PubSubTopologyRule
+from repro.analysis.resources import ResourceDisciplineRule
 from repro.analysis.timestamps import TimestampDisciplineRule
 
 SUPPRESSION_HYGIENE = "suppression-hygiene"
@@ -36,6 +39,10 @@ def all_rules() -> list:
         DeterminismRule(),
         ErrorHygieneRule(),
         FrozenRecordRule(),
+        # whole-program passes over the inter-procedural summary (PR 2)
+        PubSubTopologyRule(),
+        ConsistencyDisciplineRule(),
+        ResourceDisciplineRule(),
     ]
 
 

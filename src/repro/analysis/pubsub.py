@@ -1,0 +1,162 @@
+"""pubsub-topology: recover the log backbone's pub/sub graph and diff it
+against the declared design (paper §3.3, DESIGN.md).
+
+The pass finds every ``publish``/``subscribe`` call whose receiver is
+statically broker-typed (see :mod:`repro.analysis.summaries` — worker
+wrappers named ``subscribe`` are excluded), resolves the channel argument
+to a channel *group* (WAL shard / ddl / coord), and checks every recovered
+``(module, action, group)`` edge against the tables in
+:mod:`repro.analysis.topology`.  It also restricts binlog production:
+only declared modules may call ``write_segment``.
+
+The recovered graph is exported by the CLI (``--format dot``; always
+embedded in ``--format json``) and pinned by a golden test.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis import topology
+from repro.analysis.base import Finding, Project, Rule
+from repro.analysis.summaries import (
+    DYNAMIC, CallSite, FunctionSummary, ProjectSummary, project_summary,
+)
+
+#: layers participating in the topology check.  Everything else (tests and
+#: benchmarks analyzed from their own roots have layer "") publishes and
+#: subscribes freely — harnesses are not part of the architecture.
+CHECKED_LAYERS = frozenset({
+    "log", "nodes", "coord", "coproc", "cluster", "core", "api",
+    "storage", "sim", "baselines", "monitoring",
+})
+
+_BROKER_ACTIONS = {"publish": "publish", "subscribe": "subscribe"}
+
+
+def _checked(func: FunctionSummary) -> bool:
+    return (func.ctx.layer in CHECKED_LAYERS
+            and func.module not in topology.IMPLEMENTATION_MODULES)
+
+
+def _channel_argument(site: CallSite) -> Optional[ast.AST]:
+    """The channel expression of a broker publish/subscribe call."""
+    if site.node.args:
+        arg = site.node.args[0]
+        return None if isinstance(arg, ast.Starred) else arg
+    for kw in site.node.keywords:
+        if kw.arg == "channel":
+            return kw.value
+    return None
+
+
+def broker_sites(summary: ProjectSummary) -> Iterator[tuple]:
+    """Yield ``(func, site, action)`` for every broker pub/sub call."""
+    for func in summary.functions:
+        if not _checked(func):
+            continue
+        for site in func.calls:
+            action = _BROKER_ACTIONS.get(site.name)
+            if action is None:
+                continue
+            if not summary.is_broker_receiver(site, func):
+                continue
+            yield func, site, action
+
+
+def _site_groups(summary: ProjectSummary, func: FunctionSummary,
+                 site: CallSite) -> set[str]:
+    """Channel groups one call site can reach.
+
+    Caller back-propagation over-approximates: if *any* path resolved to a
+    concrete channel, the residual ``dynamic`` component is dropped —
+    a site is only reported dynamic when nothing at all resolved.
+    """
+    expr = _channel_argument(site)
+    if expr is None:
+        return {topology.DYNAMIC_GROUP}
+    values = summary.resolve_channel(expr, func)
+    concrete = {v for v in values if v[0] != DYNAMIC}
+    if concrete:
+        values = concrete
+    return {topology.classify_channel(v) for v in values}
+
+
+def recover_edges(project: Project) -> set[tuple[str, str, str]]:
+    """The recovered topology as ``(module, action, group)`` edges."""
+    summary = project_summary(project)
+    edges: set[tuple[str, str, str]] = set()
+    for func, site, action in broker_sites(summary):
+        for group in _site_groups(summary, func, site):
+            edges.add((func.module, action, group))
+    return edges
+
+
+def recover_topology(root) -> dict:
+    """Standalone topology recovery for a source root (golden test, CLI)."""
+    from pathlib import Path
+
+    from repro.analysis.engine import load_project
+    project = load_project(Path(root))
+    return topology.topology_to_dict(recover_edges(project))
+
+
+class PubSubTopologyRule(Rule):
+    id = "pubsub-topology"
+    description = ("pub/sub call sites must match the declared log "
+                   "topology (who may publish/subscribe each channel "
+                   "group, who may write binlog)")
+    paper_ref = ("§3.3 log backbone: loggers publish WAL, data nodes "
+                 "write binlog, coordinators stay on control channels")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        summary = project_summary(project)
+        for func, site, action in broker_sites(summary):
+            declared = (topology.DECLARED_PUBLISHERS if action == "publish"
+                        else topology.DECLARED_SUBSCRIBERS)
+            for group in sorted(_site_groups(summary, func, site)):
+                if group == topology.DYNAMIC_GROUP:
+                    if func.module in topology.ALLOW_DYNAMIC:
+                        continue
+                    yield func.ctx.finding(
+                        self.id, site.node,
+                        f"{action} on a statically unresolvable channel "
+                        f"in {func.qualname}()",
+                        hint=("route through shard_channel()/LogConfig "
+                              "channels, or declare the module in "
+                              "topology.ALLOW_DYNAMIC"))
+                elif group.startswith("other:"):
+                    yield func.ctx.finding(
+                        self.id, site.node,
+                        f"{action} on undeclared channel "
+                        f"{group[len('other:'):]!r} in {func.qualname}()",
+                        hint=("known channel groups: wal/<c>/shard-<n>, "
+                              "wal/ddl, wal/coord (analysis/topology.py)"))
+                elif func.module not in declared.get(group, frozenset()):
+                    role = ("publisher" if action == "publish"
+                            else "subscriber")
+                    yield func.ctx.finding(
+                        self.id, site.node,
+                        f"{func.module} is not a declared {role} of "
+                        f"channel group {group!r} ({func.qualname}())",
+                        hint=("update analysis/topology.py if DESIGN.md "
+                              "§ log topology really changed"))
+        yield from self._check_binlog_writers(summary)
+
+    def _check_binlog_writers(self,
+                              summary: ProjectSummary) -> Iterator[Finding]:
+        allowed = topology.DECLARED_BINLOG_WRITERS | {"log/binlog.py"}
+        for func in summary.functions:
+            if not _checked(func):
+                continue
+            if func.module in allowed:
+                continue
+            for site in func.calls:
+                if site.name == "write_segment":
+                    yield func.ctx.finding(
+                        self.id, site.node,
+                        f"{func.module} writes binlog segments "
+                        f"({func.qualname}()) but only "
+                        f"{sorted(topology.DECLARED_BINLOG_WRITERS)} may",
+                        hint="binlog is produced by data nodes only (§3.3)")

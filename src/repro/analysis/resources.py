@@ -1,0 +1,153 @@
+"""resource-discipline: subscriptions, file handles and locks must be
+scoped.
+
+A broker subscription whose handle is dropped can never be cancelled, so
+the channel retains every entry forever and the time-tick watermark for a
+collection being torn down silently stalls (paper §3.3 — the log is the
+system's spine, a leaked consumer pins it).  The same shape applies to
+``open()`` handles and explicit lock acquisition.
+
+Checks, per function in the source layers:
+
+* ``subscription-leak`` — a broker-typed ``subscribe(...)`` call used as a
+  bare expression statement (result discarded, nothing to ``cancel()``);
+* ``open()`` not used as a ``with`` context expression;
+* ``.acquire()`` outside ``with`` / not paired with a ``release()`` in a
+  ``finally`` block.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.base import Finding, Project, Rule
+from repro.analysis.summaries import (
+    FunctionSummary, ProjectSummary, project_summary, receiver_chain,
+)
+
+CHECKED_LAYERS = frozenset({
+    "log", "nodes", "coord", "coproc", "cluster", "core", "api",
+    "storage", "sim", "baselines", "monitoring",
+})
+
+
+def _parents(func_node: ast.AST) -> dict:
+    parents: dict = {}
+    for node in ast.walk(func_node):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _with_context_exprs(func_node: ast.AST) -> set:
+    """Every expression used directly as a ``with`` context manager."""
+    exprs = set()
+    for node in ast.walk(func_node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                exprs.add(item.context_expr)
+                # ``with closing(open(...))`` / ``contextlib`` wrappers:
+                # treat direct call arguments as managed too.
+                if isinstance(item.context_expr, ast.Call):
+                    exprs.update(item.context_expr.args)
+    return exprs
+
+
+def _enclosing_tries(parents: dict, node: ast.AST) -> Iterator[ast.Try]:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, ast.Try):
+            yield current
+        current = parents.get(current)
+
+
+def _releases_in_finally(try_node: ast.Try) -> bool:
+    for stmt in try_node.finalbody:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("release", "cancel", "close"):
+                return True
+    return False
+
+
+class ResourceDisciplineRule(Rule):
+    id = "resource-discipline"
+    description = ("subscriptions, file handles and locks must be "
+                   "retained/scoped: no discarded subscribe() handles, "
+                   "open() under with, acquire() paired with release "
+                   "in finally")
+    paper_ref = ("§3.3: a leaked subscriber pins the log and stalls "
+                 "time-tick watermarks")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        summary = project_summary(project)
+        for func in summary.functions:
+            if func.ctx.layer not in CHECKED_LAYERS:
+                continue
+            yield from self._check_function(summary, func)
+
+    def _check_function(self, summary: ProjectSummary,
+                        func: FunctionSummary) -> Iterator[Finding]:
+        parents = _parents(func.node)
+        managed = _with_context_exprs(func.node)
+
+        for node in ast.walk(func.node):
+            # 1. discarded broker subscription handles
+            if isinstance(node, ast.Expr) \
+                    and isinstance(node.value, ast.Call):
+                call = node.value
+                chain = receiver_chain(call.func)
+                if chain[-1] == "subscribe":
+                    site = next((s for s in func.calls if s.node is call),
+                                None)
+                    if site is not None \
+                            and summary.is_broker_receiver(site, func):
+                        yield func.ctx.finding(
+                            self.id, call,
+                            f"subscription handle discarded in "
+                            f"{func.qualname}(): the Subscription can "
+                            f"never be cancelled",
+                            hint=("keep the handle (self._subs[ch] = "
+                                  "broker.subscribe(...)) and cancel() it "
+                                  "on teardown"))
+
+            # 2. open() outside a with block
+            if isinstance(node, ast.Call) and node not in managed:
+                callee = node.func
+                is_open = (isinstance(callee, ast.Name)
+                           and callee.id == "open") \
+                    or (isinstance(callee, ast.Attribute)
+                        and callee.attr == "open"
+                        and isinstance(callee.value, ast.Name))
+                if is_open:
+                    yield func.ctx.finding(
+                        self.id, node,
+                        f"open() outside a with block in "
+                        f"{func.qualname}()",
+                        hint="use 'with open(...) as f:' so the handle "
+                             "closes on every path")
+
+            # 3. explicit acquire() without a finally-release.  The
+            # canonical pairing puts acquire() *before* the try block
+            # (``lock.acquire(); try: ... finally: lock.release()``), so
+            # an acquire counts as paired when a release-in-finally Try
+            # either encloses it or appears anywhere later in the same
+            # function.
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "acquire":
+                safe = any(_releases_in_finally(t)
+                           for t in _enclosing_tries(parents, node)) \
+                    or any(_releases_in_finally(t)
+                           for t in ast.walk(func.node)
+                           if isinstance(t, ast.Try)
+                           and t.lineno >= node.lineno)
+                if not safe:
+                    yield func.ctx.finding(
+                        self.id, node,
+                        f"lock acquire() without a paired release in a "
+                        f"finally block in {func.qualname}()",
+                        hint=("prefer 'with lock:'; if acquire() is "
+                              "needed, release in try/finally"))

@@ -1,0 +1,482 @@
+"""Inter-procedural summaries: the whole-program layer under manu-lint.
+
+PR 1's rules each looked at one module at a time.  The protocol invariants
+of the log backbone (who publishes which channel, how guarantee timestamps
+reach a query-node search) are *cross-module* properties, so this module
+extracts a compact summary of every function in the project once per run:
+
+* every call site, with the receiver attribute chain (``self._broker`` in
+  ``self._broker.publish(...)``) preserved;
+* which names are statically *broker-typed* — ``LogBroker`` parameters and
+  annotations, ``self.<attr>`` slots assigned from them, and locals bound
+  from ``LogBroker(...)`` — so ``node.subscribe(...)`` (a worker wrapper)
+  and ``broker.subscribe(...)`` (the real log) are never confused;
+* abstract *channel values*: the channel argument of a pub/sub call site
+  resolved through local assignments, f-string shapes, ``shard_channel``
+  calls, project-function return values, and — when the channel is a bare
+  parameter — back-propagated through the summary call graph to the
+  caller's concrete argument.
+
+Rules obtain the cached summary with :func:`project_summary`; the summary
+is built lazily once and shared by every whole-program pass in the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analysis.base import ModuleContext, Project, qualified_name
+
+#: receiver chain element standing in for anything that is not a plain name
+#: (a call result, a subscript, ...).
+OPAQUE = "()"
+
+#: abstract channel values produced by :func:`resolve_channel`.
+LITERAL = "literal"    # ("literal", "wal/coord")
+PATTERN = "pattern"    # ("pattern", "wal/*/shard-*") — f-string shape
+SHARD = "shard"        # ("shard",) — a shard_channel(...) call
+DYNAMIC = "dynamic"    # ("dynamic",) — statically unresolvable
+
+#: config-attribute naming convention for the two control channels
+#: (``LogConfig.ddl_channel`` / ``LogConfig.coord_channel``).
+_CHANNEL_NAME_CONVENTIONS = {
+    "ddl_channel": "wal/ddl",
+    "coord_channel": "wal/coord",
+}
+
+_MAX_DEPTH = 8
+_MAX_CANDIDATES = 4
+
+
+def _convention_literal(name: str) -> Optional[str]:
+    """Config-convention channel names, tolerating private-attr prefixes."""
+    return _CHANNEL_NAME_CONVENTIONS.get(name.lstrip("_"))
+
+
+def receiver_chain(func: ast.AST) -> tuple[str, ...]:
+    """The dotted chain of a call's function expression.
+
+    ``self._broker.publish`` -> ``("self", "_broker", "publish")``;
+    non-name links (call results, subscripts) become :data:`OPAQUE`.
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append(OPAQUE)
+    parts.reverse()
+    return tuple(parts)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    chain: tuple[str, ...]
+    node: ast.Call
+    lineno: int
+
+    @property
+    def name(self) -> str:
+        """Terminal callee name (``publish`` in ``x.y.publish(...)``)."""
+        return self.chain[-1]
+
+    @property
+    def receiver(self) -> tuple[str, ...]:
+        return self.chain[:-1]
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the whole-program passes need to know about one function."""
+
+    ctx: ModuleContext
+    node: ast.AST                       # FunctionDef / AsyncFunctionDef
+    qualname: str                       # "Proxy.search", "shard_channel"
+    class_name: Optional[str]
+    calls: list = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def module(self) -> str:
+        return self.ctx.relpath
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def params(self) -> list[str]:
+        """Positional parameter names, ``self``/``cls`` stripped."""
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if self.is_method and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+    @property
+    def kwonly_params(self) -> list[str]:
+        return [a.arg for a in self.node.args.kwonlyargs]
+
+    @property
+    def required_params(self) -> int:
+        return len(self.params) - len(self.node.args.defaults)
+
+    def param_default(self, name: str) -> Optional[ast.AST]:
+        args = self.node.args
+        pos = self.params
+        defaults = args.defaults
+        if name in pos:
+            slot = pos.index(name) - (len(pos) - len(defaults))
+            return defaults[slot] if slot >= 0 else None
+        if name in self.kwonly_params:
+            default = args.kw_defaults[self.kwonly_params.index(name)]
+            return default
+        return None
+
+
+class ProjectSummary:
+    """All function summaries of one analysis run, indexed for the passes."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.functions: list[FunctionSummary] = []
+        self.by_name: dict[str, list[FunctionSummary]] = {}
+        #: class name -> attribute names statically known to hold a broker.
+        self.broker_attrs: dict[str, set[str]] = {}
+        for ctx in project.modules:
+            self._scan_module(ctx)
+        for func in self.functions:
+            self.by_name.setdefault(func.name, []).append(func)
+
+    # ------------------------------------------------------------------
+    # extraction
+    # ------------------------------------------------------------------
+
+    def _scan_module(self, ctx: ModuleContext) -> None:
+        def visit(node: ast.AST, class_name: Optional[str],
+                  prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, child.name,
+                          f"{prefix}{child.name}.")
+                elif isinstance(child, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                    summary = FunctionSummary(
+                        ctx=ctx, node=child, class_name=class_name,
+                        qualname=f"{prefix}{child.name}")
+                    summary.calls = _collect_calls(child)
+                    self.functions.append(summary)
+                    self._note_broker_attrs(child, class_name)
+                    visit(child, class_name,
+                          f"{prefix}{child.name}.")
+
+        visit(ctx.tree, None, "")
+
+    def _note_broker_attrs(self, func: ast.AST,
+                           class_name: Optional[str]) -> None:
+        """Record ``self.X = <broker>`` assignments made inside methods."""
+        if class_name is None:
+            return
+        broker_params = _broker_annotated_params(func)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            value_is_broker = (
+                (isinstance(node.value, ast.Name)
+                 and node.value.id in broker_params)
+                or _is_broker_constructor(node.value))
+            if not value_is_broker:
+                continue
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    self.broker_attrs.setdefault(class_name, set()).add(
+                        target.attr)
+
+    # ------------------------------------------------------------------
+    # broker typing
+    # ------------------------------------------------------------------
+
+    def is_broker_receiver(self, site: CallSite,
+                           func: FunctionSummary) -> bool:
+        """Whether a call site's receiver statically holds a LogBroker."""
+        recv = site.receiver
+        if len(recv) == 2 and recv[0] == "self":
+            return recv[1] in self.broker_attrs.get(
+                func.class_name or "", set())
+        if len(recv) == 1 and recv[0] not in ("self", OPAQUE):
+            name = recv[0]
+            if name in _broker_annotated_params(func.node):
+                return True
+            for node in ast.walk(func.node):
+                if isinstance(node, ast.Assign) \
+                        and _is_broker_constructor(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) \
+                                and target.id == name:
+                            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # call-graph helpers
+    # ------------------------------------------------------------------
+
+    def callers_of(self, func: FunctionSummary) -> Iterable[tuple]:
+        """``(caller, site)`` pairs whose call plausibly targets ``func``.
+
+        Resolution is by terminal name plus argument-shape compatibility;
+        calls whose receiver is broker-typed are excluded (those target the
+        broker itself, not a same-named wrapper).
+        """
+        for caller in self.functions:
+            for site in caller.calls:
+                if site.name != func.name:
+                    continue
+                if caller is func:
+                    continue
+                if self.is_broker_receiver(site, caller):
+                    continue
+                if _call_compatible(site.node, func):
+                    yield caller, site
+
+    def candidates(self, name: str) -> list[FunctionSummary]:
+        return self.by_name.get(name, [])
+
+    # ------------------------------------------------------------------
+    # channel resolution
+    # ------------------------------------------------------------------
+
+    def resolve_channel(self, expr: ast.AST, func: FunctionSummary,
+                        depth: int = _MAX_DEPTH,
+                        _seen: Optional[set] = None) -> set[tuple]:
+        """Abstract values the channel expression can take (see header)."""
+        if depth <= 0:
+            return {(DYNAMIC,)}
+        seen = _seen if _seen is not None else set()
+
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return {(LITERAL, expr.value)}
+
+        if isinstance(expr, ast.JoinedStr):
+            pattern = "".join(
+                part.value if isinstance(part, ast.Constant) else "*"
+                for part in expr.values)
+            return {(PATTERN, pattern)}
+
+        if isinstance(expr, ast.Call):
+            return self._resolve_call_value(expr, func, depth, seen)
+
+        if isinstance(expr, ast.Attribute):
+            literal = _convention_literal(expr.attr)
+            if literal is not None:
+                return {(LITERAL, literal)}
+            return {(DYNAMIC,)}
+
+        if isinstance(expr, ast.Name):
+            return self._resolve_name(expr.id, func, depth, seen)
+
+        return {(DYNAMIC,)}
+
+    def _resolve_call_value(self, call: ast.Call, func: FunctionSummary,
+                            depth: int, seen: set) -> set[tuple]:
+        chain = receiver_chain(call.func)
+        qual = qualified_name(call.func, func.ctx.aliases)
+        if chain[-1] == "shard_channel" or (
+                qual is not None and qual.endswith(".shard_channel")):
+            return {(SHARD,)}
+        # A project function's return value: resolve its return expressions.
+        targets = [t for t in self.candidates(chain[-1])
+                   if _call_compatible(call, t)]
+        if not targets or len(targets) > _MAX_CANDIDATES:
+            return {(DYNAMIC,)}
+        out: set[tuple] = set()
+        for target in targets:
+            key = ("ret", target.module, target.qualname)
+            if key in seen:
+                continue
+            seen.add(key)
+            returns = [n.value for n in ast.walk(target.node)
+                       if isinstance(n, ast.Return) and n.value is not None]
+            if not returns:
+                out.add((DYNAMIC,))
+            for value in returns:
+                out |= self._resolve_iterable_or_value(
+                    value, target, depth - 1, seen)
+        return out or {(DYNAMIC,)}
+
+    def _resolve_iterable_or_value(self, expr: ast.AST,
+                                   func: FunctionSummary, depth: int,
+                                   seen: set) -> set[tuple]:
+        """Resolve an expression that may be a channel or a list of them."""
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self.resolve_channel(expr.elt, func, depth, seen)
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            out: set[tuple] = set()
+            for elt in expr.elts:
+                out |= self.resolve_channel(elt, func, depth, seen)
+            return out or {(DYNAMIC,)}
+        return self.resolve_channel(expr, func, depth, seen)
+
+    def _resolve_name(self, name: str, func: FunctionSummary,
+                      depth: int, seen: set) -> set[tuple]:
+        literal = _convention_literal(name)
+        if literal is not None:
+            return {(LITERAL, literal)}
+
+        out: set[tuple] = set()
+        # Local bindings: assignments and loop/comprehension targets.
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Assign):
+                if any(isinstance(t, ast.Name) and t.id == name
+                       for t in node.targets):
+                    out |= self._resolve_iterable_or_value(
+                        node.value, func, depth - 1, seen)
+            elif isinstance(node, ast.For):
+                if _target_binds(node.target, name):
+                    out |= self._resolve_iter_source(
+                        node.iter, func, depth - 1, seen)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if _target_binds(gen.target, name):
+                        out |= self._resolve_iter_source(
+                            gen.iter, func, depth - 1, seen)
+        if out:
+            return out
+
+        # Parameters: propagate backwards through the call graph.
+        if name in func.params or name in func.kwonly_params:
+            key = ("param", func.module, func.qualname, name)
+            if key in seen:
+                return {(DYNAMIC,)}
+            seen.add(key)
+            for caller, site in self.callers_of(func):
+                arg = _argument_for(site.node, func, name)
+                if arg is None:
+                    arg = func.param_default(name)
+                if arg is None:
+                    out.add((DYNAMIC,))
+                else:
+                    out |= self.resolve_channel(arg, caller, depth - 1,
+                                                seen)
+            return out or {(DYNAMIC,)}
+        return {(DYNAMIC,)}
+
+    def _resolve_iter_source(self, expr: ast.AST, func: FunctionSummary,
+                             depth: int, seen: set) -> set[tuple]:
+        """Resolve the element values of an iterated expression."""
+        if isinstance(expr, ast.Call):
+            return self._resolve_call_value(expr, func, depth, seen)
+        if isinstance(expr, ast.Name):
+            # The iterated name's own binding (e.g. ``channels`` built from
+            # a list comprehension above the loop).
+            return self._resolve_name(expr.id, func, depth, seen)
+        return self._resolve_iterable_or_value(expr, func, depth, seen)
+
+
+# ----------------------------------------------------------------------
+# module-level helpers
+# ----------------------------------------------------------------------
+
+
+def _collect_calls(func: ast.AST) -> list[CallSite]:
+    out = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            out.append(CallSite(chain=receiver_chain(node.func),
+                                node=node, lineno=node.lineno))
+    return out
+
+
+def _annotation_mentions_broker(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "LogBroker"
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr == "LogBroker"
+    if isinstance(annotation, ast.Constant) \
+            and isinstance(annotation.value, str):
+        return "LogBroker" in annotation.value
+    if isinstance(annotation, ast.Subscript):  # Optional[LogBroker], ...
+        return any(_annotation_mentions_broker(n)
+                   for n in ast.walk(annotation.slice))
+    return False
+
+
+def _broker_annotated_params(func: ast.AST) -> set[str]:
+    args = getattr(func, "args", None)
+    if args is None:
+        return set()
+    return {a.arg
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+            if _annotation_mentions_broker(a.annotation)}
+
+
+def _is_broker_constructor(expr: ast.AST) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    chain = receiver_chain(expr.func)
+    return chain[-1] == "LogBroker"
+
+
+def _target_binds(target: ast.AST, name: str) -> bool:
+    """Whether a for/comprehension target binds ``name`` (incl. tuples)."""
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and node.id == name:
+            return True
+    return False
+
+
+def _call_compatible(call: ast.Call, func: FunctionSummary) -> bool:
+    """Argument-shape compatibility of a call site with a definition."""
+    if any(isinstance(a, ast.Starred) for a in call.args) \
+            or any(kw.arg is None for kw in call.keywords):
+        return True  # *args/**kwargs at the call site: assume compatible
+    params = func.params
+    kwonly = set(func.kwonly_params)
+    has_vararg = func.node.args.vararg is not None
+    has_kwarg = func.node.args.kwarg is not None
+    n_pos = len(call.args)
+    if n_pos > len(params) and not has_vararg:
+        return False
+    kw_names = {kw.arg for kw in call.keywords}
+    if not has_kwarg and not kw_names <= (set(params) | kwonly):
+        return False
+    covered = n_pos + len(kw_names & set(params))
+    return covered >= func.required_params
+
+
+def _argument_for(call: ast.Call, func: FunctionSummary,
+                  param: str) -> Optional[ast.AST]:
+    """The call-site expression bound to ``param``, if determinable."""
+    params = func.params
+    if param in params:
+        index = params.index(param)
+        if index < len(call.args):
+            arg = call.args[index]
+            return None if isinstance(arg, ast.Starred) else arg
+    for kw in call.keywords:
+        if kw.arg == param:
+            return kw.value
+    return None
+
+
+def project_summary(project: Project) -> ProjectSummary:
+    """The cached :class:`ProjectSummary` for this analysis run."""
+    cached = getattr(project, "_summary", None)
+    if cached is None:
+        cached = ProjectSummary(project)
+        project._summary = cached
+    return cached

@@ -61,6 +61,15 @@ class ChannelNotFound(ManuError):
     """The referenced log channel does not exist."""
 
 
+class MonotonicityViolation(ManuError):
+    """A record's timestamp went backwards on a WAL channel.
+
+    Raised only under ``MANU_CHECK=1`` (the runtime twin of manu-lint's
+    ``timestamp-discipline`` rule): per-channel LSN/time-tick order is the
+    invariant delta consistency's watermarks are built on.
+    """
+
+
 class NodeNotFound(ManuError):
     """The referenced worker node is not registered with its coordinator."""
 

@@ -13,10 +13,11 @@ the property the paper's failure recovery and stream indexing rely on.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.errors import ChannelNotFound
+from repro.errors import ChannelNotFound, MonotonicityViolation
 from repro.sim.events import EventLoop
 
 
@@ -78,12 +79,21 @@ class LogBroker:
     """
 
     def __init__(self, loop: Optional[EventLoop] = None,
-                 delivery_delay_ms: float = 0.5) -> None:
+                 delivery_delay_ms: float = 0.5,
+                 manu_check: Optional[bool] = None) -> None:
         self._loop = loop
         self.delivery_delay_ms = delivery_delay_ms
         self._channels: dict[str, list[LogEntry]] = {}
         self._base_offsets: dict[str, int] = {}
         self._subs: dict[str, list[Subscription]] = {}
+        # MANU_CHECK: runtime twin of manu-lint's timestamp-discipline —
+        # assert per-WAL-channel timestamp monotonicity on every publish.
+        # ``None`` defers to the environment so stress tests can flip it
+        # on without plumbing a flag through the cluster wiring.
+        if manu_check is None:
+            manu_check = os.environ.get("MANU_CHECK", "") not in ("", "0")
+        self.manu_check = manu_check
+        self._check_high_ts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # channel management
@@ -114,12 +124,36 @@ class LogBroker:
     def publish(self, channel: str, payload: Any) -> int:
         """Append a payload; returns its offset and triggers deliveries."""
         entries = self._entries(channel)
+        if self.manu_check:
+            self._check_monotonic(channel, payload)
         offset = self._base_offsets[channel] + len(entries)
         entry = LogEntry(channel, offset, payload)
         entries.append(entry)
         for sub in list(self._subs[channel]):
             self._deliver(sub)
         return offset
+
+    def _check_monotonic(self, channel: str, payload: Any) -> None:
+        """MANU_CHECK invariant: WAL shard channels never go back in time.
+
+        Scoped to ``wal/<collection>/shard-<n>`` data channels: control
+        channels legitimately carry historical timestamps (a flush ack
+        reports the segment's max LSN, an index-built notice carries no
+        timestamp at all).  Records without a positive integer ``ts`` are
+        ignored.
+        """
+        if not (channel.startswith("wal/") and "/shard-" in channel):
+            return
+        ts = getattr(payload, "ts", None)
+        if not isinstance(ts, int) or ts <= 0:  # manu-lint: disable=timestamp-discipline -- 0/None is the "no timestamp" sentinel, not LSN ordering
+            return
+        high = self._check_high_ts.get(channel, 0)
+        if ts < high:
+            raise MonotonicityViolation(
+                f"MANU_CHECK: channel {channel!r} received ts {ts} after "
+                f"having seen ts {high} (type "
+                f"{type(payload).__name__})")
+        self._check_high_ts[channel] = ts
 
     # ------------------------------------------------------------------
     # consuming

@@ -436,8 +436,9 @@ class TestEngineAndCli:
 
     def test_rule_registry_complete(self):
         assert sorted(rule.id for rule in all_rules()) == [
-            "determinism", "error-hygiene", "frozen-record",
-            "layering", "timestamp-discipline"]
+            "consistency-discipline", "determinism", "error-hygiene",
+            "frozen-record", "layering", "pubsub-topology",
+            "resource-discipline", "timestamp-discipline"]
 
     def test_cli_exit_codes(self, tmp_path, capsys):
         from repro.analysis.cli import main

@@ -35,7 +35,10 @@ def _nearest(model: dict, query: np.ndarray) -> int:
 
 
 @pytest.mark.parametrize("seed", [11, 23, 57])
-def test_chaos_schedule_against_model(seed):
+def test_chaos_schedule_against_model(seed, monkeypatch):
+    # MANU_CHECK: the broker asserts per-WAL-channel timestamp
+    # monotonicity on every publish for the whole chaos run.
+    monkeypatch.setenv("MANU_CHECK", "1")
     rng = np.random.default_rng(seed)
     config = ManuConfig(segment=SegmentConfig(
         seal_entity_count=64, slice_size=32, compaction_min_size=48,

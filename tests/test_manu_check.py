@@ -1,0 +1,101 @@
+"""MANU_CHECK: the broker's runtime monotonicity assertion.
+
+The dynamic twin of manu-lint's ``timestamp-discipline``: under
+``MANU_CHECK=1`` (or ``LogBroker(manu_check=True)``) every publish to a
+``wal/<collection>/shard-<n>`` channel asserts the record's timestamp
+never goes backwards.  The chaos stress test runs with the flag on (see
+``test_cluster_chaos.py``); here the mechanism itself is pinned,
+including the negative case — an injected out-of-order time-tick must
+trip the assertion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.manu import ManuCluster
+from repro.core.schema import CollectionSchema, DataType, FieldSchema
+from repro.errors import MonotonicityViolation
+from repro.log.broker import LogBroker
+from repro.log.wal import InsertRecord, TimeTickRecord
+
+SHARD = "wal/c/shard-0"
+
+
+def _broker(**kwargs) -> LogBroker:
+    broker = LogBroker(**kwargs)
+    broker.create_channel(SHARD)
+    broker.create_channel("wal/coord")
+    return broker
+
+
+def test_out_of_order_tick_trips():
+    broker = _broker(manu_check=True)
+    broker.publish(SHARD, TimeTickRecord(ts=100, source="tso"))
+    with pytest.raises(MonotonicityViolation, match="wal/c/shard-0"):
+        broker.publish(SHARD, TimeTickRecord(ts=50, source="tso"))
+
+
+def test_out_of_order_insert_after_tick_trips():
+    broker = _broker(manu_check=True)
+    broker.publish(SHARD, TimeTickRecord(ts=1000, source="tso"))
+    with pytest.raises(MonotonicityViolation):
+        broker.publish(SHARD, InsertRecord(ts=999, collection="c"))
+
+
+def test_monotone_stream_passes_and_is_recorded():
+    broker = _broker(manu_check=True)
+    for ts in (1, 5, 5, 9):  # equal timestamps are allowed
+        broker.publish(SHARD, TimeTickRecord(ts=ts, source="tso"))
+    assert broker.end_offset(SHARD) == 4
+
+
+def test_control_channels_and_ts_free_payloads_exempt():
+    broker = _broker(manu_check=True)
+    # Control channels legitimately carry historical timestamps.
+    broker.publish("wal/coord", TimeTickRecord(ts=100, source="tso"))
+    broker.publish("wal/coord", TimeTickRecord(ts=1, source="tso"))
+    # ts=0 sentinels and non-record payloads are ignored on data channels.
+    broker.publish(SHARD, TimeTickRecord(ts=7, source="tso"))
+    broker.publish(SHARD, TimeTickRecord(ts=0, source="sentinel"))
+    broker.publish(SHARD, {"raw": "payload"})
+
+
+def test_disabled_by_default_and_env_driven(monkeypatch):
+    monkeypatch.delenv("MANU_CHECK", raising=False)
+    assert LogBroker().manu_check is False
+    monkeypatch.setenv("MANU_CHECK", "1")
+    assert LogBroker().manu_check is True
+    monkeypatch.setenv("MANU_CHECK", "0")
+    assert LogBroker().manu_check is False
+    # Explicit argument wins over the environment.
+    monkeypatch.setenv("MANU_CHECK", "1")
+    assert LogBroker(manu_check=False).manu_check is False
+
+
+def test_disabled_broker_accepts_out_of_order():
+    broker = _broker(manu_check=False)
+    broker.publish(SHARD, TimeTickRecord(ts=100, source="tso"))
+    broker.publish(SHARD, TimeTickRecord(ts=50, source="tso"))
+
+
+def test_full_cluster_stress_under_manu_check(monkeypatch):
+    """A small end-to-end run with the invariant armed throughout."""
+    monkeypatch.setenv("MANU_CHECK", "1")
+    cluster = ManuCluster(num_query_nodes=2, num_loggers=2)
+    assert cluster.broker.manu_check
+    schema = CollectionSchema([
+        FieldSchema("pk", DataType.INT64, is_primary=True),
+        FieldSchema("vector", DataType.FLOAT_VECTOR, dim=8),
+    ])
+    cluster.create_collection("mc", schema)
+    rng = np.random.default_rng(7)
+    for batch in range(5):
+        pks = list(range(batch * 20, batch * 20 + 20))
+        cluster.insert("mc", {"pk": pks,
+                              "vector": rng.normal(size=(20, 8))})
+        cluster.run_for(100)
+    cluster.delete("mc", "pk in [1, 2, 3]")
+    cluster.run_for(500)
+    assert cluster.collection_row_count("mc") == 97

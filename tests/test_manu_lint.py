@@ -13,19 +13,36 @@ from pathlib import Path
 
 from repro.analysis import run_analysis
 
-REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src" / "repro"
+TESTS_ROOT = REPO_ROOT / "tests"
+BENCHMARKS_ROOT = REPO_ROOT / "benchmarks"
+
+
+def _assert_clean(root, min_modules):
+    report = run_analysis(root, strict=True)
+    details = "\n".join(f.format() for f in
+                        report.parse_errors + report.findings)
+    assert report.ok, f"manu-lint findings under {root.name}:\n{details}"
+    # the whole tree was actually walked
+    assert report.modules_checked >= min_modules
 
 
 def test_repo_is_manu_lint_clean_strict():
-    report = run_analysis(REPO_SRC, strict=True)
-    details = "\n".join(f.format() for f in
-                        report.parse_errors + report.findings)
-    assert report.ok, f"manu-lint findings:\n{details}"
-    assert report.modules_checked > 80  # the whole tree was actually walked
+    _assert_clean(REPO_SRC, min_modules=80)
+
+
+def test_tests_are_manu_lint_clean_strict():
+    _assert_clean(TESTS_ROOT, min_modules=40)
+
+
+def test_benchmarks_are_manu_lint_clean_strict():
+    _assert_clean(BENCHMARKS_ROOT, min_modules=10)
 
 
 def test_every_repo_suppression_is_justified():
-    report = run_analysis(REPO_SRC, strict=True)
-    for finding, suppression in report.suppressed:
-        assert suppression.reason, (
-            f"{finding.path}:{finding.line} suppressed without a reason")
+    for root in (REPO_SRC, TESTS_ROOT, BENCHMARKS_ROOT):
+        report = run_analysis(root, strict=True)
+        for finding, suppression in report.suppressed:
+            assert suppression.reason, (
+                f"{finding.path}:{finding.line} suppressed without a reason")
