@@ -69,7 +69,7 @@ def test_ablation_filter_strategies(benchmark, rng):
                              + stats.quantized_comparisons) / len(queries)
                 work[(selectivity, strategy.value)] = per_query
                 rows.append((selectivity, strategy.value, per_query,
-                             len(results[0][0])))
+                             len(results[0])))
             plan = choose_strategy(segment, "vector", 10, expr)
             work[(selectivity, "chosen")] = \
                 work[(selectivity, plan.strategy.value)]

@@ -63,7 +63,7 @@ def test_ablation_temp_slice_index(benchmark, rng):
                                          MetricType.EUCLIDEAN, stats=stats)
                 work[enabled] = (stats.float_comparisons
                                  / queries.shape[0])
-                agree[enabled] = [r[0][0] for r in results if r[0]]
+                agree[enabled] = [r[0].pk for r in results if len(r)]
             # Top-1 quality parity: the temp index finds the same nearest
             # neighbour for almost all queries.
             matches = sum(a == b for a, b in zip(agree[True],

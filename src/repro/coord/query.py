@@ -133,8 +133,7 @@ class QueryCoordinator:
         """Query nodes the proxy must fan a search out to."""
         serving = []
         for node in self.live_nodes():
-            holds_segment = any(coll == collection
-                                for (coll, _sid) in node._segments)
+            holds_segment = node.holds_collection(collection)
             owns_channel = any(
                 self._channel_collection.get(c) == collection
                 for c in node.owned_channels)
@@ -277,8 +276,7 @@ class QueryCoordinator:
         def release() -> None:
             for node in self.live_nodes():
                 if node.name != keep:
-                    key = (collection, segment_id)
-                    if key in node._growing_ids:
+                    if node.is_growing(collection, segment_id):
                         node.release_segment(collection, segment_id)
 
         self._loop.call_after(after_ms, release,

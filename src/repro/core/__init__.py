@@ -15,7 +15,13 @@ from repro.core.schema import (
     MetricType,
 )
 from repro.core.consistency import ConsistencyLevel, ConsistencyGate
-from repro.core.results import SearchHit, SearchResult, merge_topk
+from repro.core.results import (
+    HitBatch,
+    SearchHit,
+    SearchResult,
+    merge_topk,
+    merge_topk_reference,
+)
 from repro.core.segment import Segment, SegmentState
 
 __all__ = [
@@ -27,9 +33,11 @@ __all__ = [
     "MetricType",
     "ConsistencyLevel",
     "ConsistencyGate",
+    "HitBatch",
     "SearchHit",
     "SearchResult",
     "merge_topk",
+    "merge_topk_reference",
     "Segment",
     "SegmentState",
 ]

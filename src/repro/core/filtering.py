@@ -210,7 +210,8 @@ def filtered_search(segment: Segment, field: str, queries: np.ndarray,
 
     ``forced`` overrides the cost-based choice (used by the ablation
     benchmark comparing strategies head-to-head).
-    Returns (per-query results, plan or None).
+    Returns (one :class:`~repro.core.results.HitBatch` per query,
+    plan or None).
     """
     if expr is None:
         return segment.search(field, queries, k, metric, stats=stats), None

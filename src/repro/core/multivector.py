@@ -26,6 +26,7 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from repro.core.results import HitBatch
 from repro.core.schema import MetricType
 from repro.core.segment import Segment
 from repro.index.base import SearchStats
@@ -66,24 +67,26 @@ def search_segment(segment: Segment, query: MultiVectorQuery, k: int,
                    amplification: int = 4,
                    stats: Optional[SearchStats] = None,
                    forced: Optional[MultiVectorStrategy] = None,
-                   ) -> tuple[list, np.ndarray]:
+                   ) -> HitBatch:
     """Top-k entities of one segment under the combined similarity.
 
-    Returns (pks, combined adjusted distances) sorted ascending.
+    Returns a :class:`HitBatch` of combined adjusted distances, sorted
+    ascending.
     """
     stats = stats if stats is not None else SearchStats()
     strategy = forced if forced is not None else choose_strategy(query)
     k_amp = max(k * amplification, k)
 
-    # Gather a candidate pool from per-field searches.
+    # Gather a candidate pool from per-field searches (tolist keeps the
+    # pool native-typed so str-keyed ordering matches the pk column).
     pool: set = set()
     for field in query.fields:
         q = np.asarray(query.queries[field], dtype=np.float32)
         results = segment.search(field, q[None, :], k_amp, query.metric,
                                  stats=stats)
-        pool.update(results[0][0])
+        pool.update(results[0].pks.tolist())
     if not pool:
-        return [], np.empty(0, dtype=np.float32)
+        return HitBatch.empty()
     pks = sorted(pool, key=str)
 
     # Exact combined rescoring of the pool (both strategies end here; for
@@ -103,5 +106,5 @@ def search_segment(segment: Segment, query: MultiVectorQuery, k: int,
         combined += weight * dists.astype(np.float64)
 
     order = np.argsort(combined, kind="stable")[:k]
-    return ([pks[i] for i in order],
-            combined[order].astype(np.float32))
+    return HitBatch(np.asarray(pks)[order],
+                    combined[order].astype(np.float32))

@@ -6,6 +6,13 @@ steps are the same operation — :func:`merge_topk` — which also removes
 duplicate primary keys, because "a segment can reside on more than one
 query node ... the proxies remove duplicate result vectors for a query".
 
+Partial results travel the whole reduce path as :class:`HitBatch`es —
+parallel ``pks`` / ``dists`` ndarrays sorted by ascending adjusted
+distance — so merging is numpy concatenation + stable sorting instead of
+per-hit Python-object churn.  User-facing :class:`SearchHit` objects only
+materialize at the :class:`SearchResult` boundary (or through a batch's
+sequence protocol, which exists for tests and debugging).
+
 Hits carry *adjusted distances* (smaller = more similar) internally and
 expose the user-facing score through :meth:`SearchHit.score_for`.
 """
@@ -14,7 +21,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union
+
+import numpy as np
 
 from repro.core.schema import MetricType
 from repro.index.distances import to_user_score
@@ -30,6 +39,119 @@ class SearchHit:
     def score_for(self, metric: MetricType) -> float:
         """User-facing score (L2 distance or similarity) for this hit."""
         return float(to_user_score(self.adjusted_distance, metric))
+
+
+class HitBatch:
+    """One partial top-k result as parallel ndarrays, sorted ascending.
+
+    The contract every producer (segment searches) and consumer (node and
+    proxy merges) relies on:
+
+    * ``dists`` is 1-D, float, and sorted ascending (adjusted distances);
+    * ``pks`` is parallel to ``dists`` (same length, pk of each hit);
+    * duplicate pks may appear *across* batches (replicas, segment copies
+      during redistribution) — :func:`merge_topk` removes them; a single
+      segment never emits the same pk twice.
+
+    Batches are cheap views over the arrays the distance kernels already
+    produced; nothing is copied per hit.  The sequence protocol
+    (``len``/``iter``/``[i]``) materializes :class:`SearchHit` objects on
+    demand so existing object-oriented call sites and tests keep working.
+    """
+
+    __slots__ = ("pks", "dists")
+
+    def __init__(self, pks, dists) -> None:
+        self.pks = np.asarray(pks)
+        self.dists = np.asarray(dists)
+
+    @classmethod
+    def empty(cls) -> "HitBatch":
+        return cls(np.empty(0, dtype=object),
+                   np.empty(0, dtype=np.float32))
+
+    @classmethod
+    def from_hits(cls, hits: Iterable[SearchHit]) -> "HitBatch":
+        """Pack already-sorted :class:`SearchHit`s into a batch."""
+        hits = list(hits)
+        if not hits:
+            return cls.empty()
+        pks = [h.pk for h in hits]
+        arr = np.asarray(pks)
+        if arr.dtype.kind in "US" \
+                and not all(isinstance(pk, str) for pk in pks):
+            # Heterogeneous pks: keep them as objects instead of letting
+            # numpy silently stringify everything.
+            arr = np.empty(len(pks), dtype=object)
+            arr[:] = pks
+        return cls(arr, np.asarray([h.adjusted_distance for h in hits]))
+
+    @classmethod
+    def from_unsorted(cls, pks, dists) -> "HitBatch":
+        """Build a batch from parallel arrays in arbitrary order."""
+        dists = np.asarray(dists)
+        order = np.argsort(dists, kind="stable")
+        return cls(np.asarray(pks)[order], dists[order])
+
+    @classmethod
+    def concat(cls, batches: Sequence["HitBatch"]) -> "HitBatch":
+        """Stably merge sorted batches (no dedup), ordered by distance.
+
+        Ties keep batch order then within-batch order — the same order a
+        stable streaming merge of the sorted inputs would produce.
+        """
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        pks = np.concatenate([b.pks for b in batches])
+        dists = np.concatenate([b.dists for b in batches])
+        order = np.argsort(dists, kind="stable")
+        return cls(pks[order], dists[order])
+
+    def topk(self, k: int) -> "HitBatch":
+        """The first ``k`` hits (the batch is already sorted)."""
+        if k >= len(self):
+            return self
+        k = max(k, 0)
+        return HitBatch(self.pks[:k], self.dists[:k])
+
+    def to_hits(self) -> list[SearchHit]:
+        """Materialize user-facing hit objects (the SearchResult boundary).
+
+        ``tolist()`` converts numpy scalars back to native Python types so
+        pks round-trip exactly (JSON encoding, dict keys, equality).
+        """
+        return [SearchHit(float(d), pk)
+                for pk, d in zip(self.pks.tolist(), self.dists.tolist())]
+
+    def __len__(self) -> int:
+        return int(self.pks.shape[0])
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self):
+        return iter(self.to_hits())
+
+    def __getitem__(self, i: int) -> SearchHit:
+        pk = self.pks[i]
+        if isinstance(pk, np.generic):
+            pk = pk.item()
+        return SearchHit(float(self.dists[i]), pk)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, HitBatch):
+            return (len(self) == len(other)
+                    and bool(np.all(self.pks == other.pks))
+                    and bool(np.all(self.dists == other.dists)))
+        if isinstance(other, (list, tuple)):
+            return self.to_hits() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"HitBatch(n={len(self)})"
 
 
 @dataclass
@@ -62,14 +184,74 @@ class SearchResult:
         return iter(self.hits)
 
 
-def merge_topk(partials: Sequence[Iterable[SearchHit]],
-               k: int) -> list[SearchHit]:
-    """Merge sorted partial hit lists into a deduplicated global top-k.
+Partial = Union[HitBatch, Iterable[SearchHit]]
 
-    Each partial list must be sorted by adjusted distance ascending (the
-    contract of segment/node searches).  When the same primary key appears
-    in several lists (hot replicas, segment copies during redistribution),
-    only its best hit survives.
+
+def _first_occurrence(pks: np.ndarray):
+    """Indices keeping the first occurrence of each pk, order preserved.
+
+    ``pks`` is already sorted by ascending distance, so "first" is "best
+    copy".  Homogeneous pk arrays (int64 / unicode — the only dtypes a
+    typed pk column produces) use ``np.unique``, whose ``return_index``
+    points at first occurrences; object arrays (heterogeneous pks, not
+    sortable by numpy) fall back to a set walk.  Returns None when every
+    pk is already unique (the common case — no copy needed).
+    """
+    n = len(pks)
+    if n <= 1:
+        return None
+    if pks.dtype.kind == "O":
+        seen: set = set()
+        keep = [i for i, pk in enumerate(pks.tolist())
+                if pk not in seen and not seen.add(pk)]
+        if len(keep) == n:
+            return None
+        return np.asarray(keep, dtype=np.int64)
+    unique_first = np.unique(pks, return_index=True)[1]
+    if len(unique_first) == n:
+        return None
+    unique_first.sort()
+    return unique_first
+
+
+def merge_topk(partials: Sequence[Partial], k: int) -> HitBatch:
+    """Merge sorted partial results into a deduplicated global top-k.
+
+    Each partial (a :class:`HitBatch`, or an iterable of sorted
+    :class:`SearchHit`s) must be sorted by adjusted distance ascending —
+    the contract of segment/node searches.  When the same primary key
+    appears in several partials (hot replicas, segment copies during
+    redistribution), only its best hit survives.
+
+    The merge is array-native: concatenate, one stable sort by distance
+    (ties resolve to partial order then within-partial order, exactly like
+    a stable streaming merge), first-occurrence dedup on pk, truncate to
+    ``k``.  A full stable sort — not an ``argpartition`` preselection — is
+    used on purpose: partition boundaries are unstable under distance
+    ties, and the reduce must stay hit-for-hit identical to
+    :func:`merge_topk_reference`.
+    """
+    if k <= 0:
+        return HitBatch.empty()
+    batches = [p if isinstance(p, HitBatch) else HitBatch.from_hits(p)
+               for p in partials]
+    merged = HitBatch.concat(batches)
+    if not merged:
+        return merged
+    keep = _first_occurrence(merged.pks)
+    if keep is not None:
+        merged = HitBatch(merged.pks[keep], merged.dists[keep])
+    return merged.topk(k)
+
+
+def merge_topk_reference(partials: Sequence[Iterable[SearchHit]],
+                         k: int) -> list[SearchHit]:
+    """Object-based reduce, retained as the oracle for the vectorized path.
+
+    This is the pre-HitBatch implementation (``heapq.merge`` over
+    :class:`SearchHit` objects with a seen-set dedup).  The equivalence
+    suite asserts :func:`merge_topk` matches it hit-for-hit, and
+    ``benchmarks/bench_reduce_path.py`` measures the speedup against it.
     """
     if k <= 0:
         return []

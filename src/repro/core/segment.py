@@ -22,6 +22,7 @@ from typing import Mapping, Optional, Sequence
 import numpy as np
 
 from repro.config import SegmentConfig
+from repro.core.results import HitBatch
 from repro.core.schema import CollectionSchema, MetricType
 from repro.errors import ClusterStateError
 from repro.index.base import SearchStats, VectorIndex
@@ -47,6 +48,7 @@ class Segment:
         self.state = SegmentState.GROWING
 
         self._pks: list = []
+        self._pk_arr: Optional[np.ndarray] = None
         self._pk_rows: dict = {}
         self._chunks: dict[str, list] = {f.name: [] for f in schema.fields
                                          if not f.is_primary}
@@ -92,6 +94,20 @@ class Segment:
     def pks(self) -> list:
         return list(self._pks)
 
+    @property
+    def pk_array(self) -> np.ndarray:
+        """Primary keys as one ndarray — the gather source for searches.
+
+        Cached and rebuilt lazily after appends so the hot path turns
+        row indices into pks with one fancy-index instead of a Python
+        loop over ``self._pks``.
+        """
+        arr = self._pk_arr
+        if arr is None:
+            arr = np.asarray(self._pks)
+            self._pk_arr = arr
+        return arr
+
     def seal(self) -> None:
         """Freeze the segment; further appends are rejected."""
         self.state = SegmentState.SEALED
@@ -118,6 +134,7 @@ class Segment:
         for offset, pk in enumerate(pks):
             self._pk_rows[pk] = start + offset
         self._pks.extend(pks)
+        self._pk_arr = None
         for name, chunk in columns.items():
             self._chunks[name].append(chunk)
         self._consolidated.clear()
@@ -299,8 +316,9 @@ class Segment:
                filter_mask: Optional[np.ndarray] = None,
                stats: Optional[SearchStats] = None,
                force_brute: bool = False,
-               ) -> list[tuple[list, np.ndarray]]:
-        """Top-k over live, filter-passing rows; one (pks, dists) per query.
+               ) -> list[HitBatch]:
+        """Top-k over live, filter-passing rows; one :class:`HitBatch` per
+        query, sorted by ascending adjusted distance.
 
         Uses the sealed index when attached, temporary slice indexes plus a
         brute tail scan while growing, and pure brute force when
@@ -316,8 +334,7 @@ class Segment:
         allowed = self._allowed_mask(filter_mask)
         n_allowed = int(allowed.sum())
         if n_allowed == 0 or self.num_rows == 0:
-            return [([], np.empty(0, dtype=np.float32))
-                    for _ in range(queries.shape[0])]
+            return [HitBatch.empty() for _ in range(queries.shape[0])]
 
         if force_brute:
             return self._search_brute(field, queries, k, metric, allowed,
@@ -332,22 +349,24 @@ class Segment:
 
     def _search_brute(self, field: str, queries: np.ndarray, k: int,
                       metric: MetricType, allowed: np.ndarray,
-                      stats: SearchStats
-                      ) -> list[tuple[list, np.ndarray]]:
+                      stats: SearchStats) -> list[HitBatch]:
         rows = np.flatnonzero(allowed)
+        if not len(rows) or k <= 0:
+            return [HitBatch.empty() for _ in range(queries.shape[0])]
         data = self.column(field)[rows]
         dists = adjusted_distances(queries, data, metric)
         stats.float_comparisons += queries.shape[0] * len(rows)
-        out: list[tuple[list, np.ndarray]] = []
-        for qi in range(queries.shape[0]):
-            idx, vals = topk_smallest(dists[qi], k)
-            out.append(([self._pks[rows[i]] for i in idx], vals))
-        return out
+        # One batched selection over all queries; pk gather is a single
+        # fancy-index on the cached pk ndarray per query.
+        idx, vals = topk_smallest(dists, k)
+        pk_arr = self.pk_array
+        return [HitBatch(pk_arr[rows[idx[qi]]], vals[qi])
+                for qi in range(queries.shape[0])]
 
     def _search_with_index(self, index: VectorIndex, row_offset: int,
                            queries: np.ndarray, k: int, metric: MetricType,
                            allowed: np.ndarray, stats: SearchStats,
-                           field: str) -> list[tuple[list, np.ndarray]]:
+                           field: str) -> list[HitBatch]:
         """Post-filter strategy over one index; escalates when starved."""
         covered = index.ntotal
         n_excluded = covered - int(
@@ -356,20 +375,21 @@ class Segment:
                           else min(covered, 2 * k + n_excluded // 4))
         ids, dists = index.search(queries, k_amplified)
         _merge_stats(stats, index.stats)
-        out: list[tuple[list, np.ndarray]] = []
+        pk_arr = self.pk_array
+        out: list[HitBatch] = []
         for qi in range(queries.shape[0]):
-            pks: list = []
-            kept: list[float] = []
-            for local, dist in zip(ids[qi], dists[qi]):
-                if local < 0:
-                    break
-                row = row_offset + int(local)
-                if allowed[row]:
-                    pks.append(self._pks[row])
-                    kept.append(float(dist))
-                if len(pks) >= k:
-                    break
-            if n_excluded > 0 and len(pks) < k and k_amplified < covered:
+            local = np.asarray(ids[qi], dtype=np.int64)
+            # Candidate lists are tail-padded with -1; truncate there,
+            # then drop filtered rows with one mask gather instead of a
+            # per-candidate Python walk.
+            padding = np.flatnonzero(local < 0)
+            if padding.size:
+                local = local[:padding[0]]
+            rows = row_offset + local
+            keep = allowed[rows]
+            kept_rows = rows[keep][:k]
+            if n_excluded > 0 and len(kept_rows) < k \
+                    and k_amplified < covered:
                 # Starved by filtering: fall back to exact scan (correct).
                 # Without exclusions, returning fewer than k hits is the
                 # index's normal ANN behaviour and needs no escalation.
@@ -380,17 +400,19 @@ class Segment:
                                            metric, sub_allowed, stats)
                 out.append(exact[0])
             else:
-                out.append((pks, np.asarray(kept, dtype=np.float32)))
+                kept_dists = dists[qi][:len(local)][keep][:k]
+                out.append(HitBatch(
+                    pk_arr[kept_rows],
+                    kept_dists.astype(np.float32, copy=False)))
         return out
 
     def _search_growing(self, field: str, queries: np.ndarray, k: int,
                         metric: MetricType, allowed: np.ndarray,
-                        stats: SearchStats
-                        ) -> list[tuple[list, np.ndarray]]:
+                        stats: SearchStats) -> list[HitBatch]:
         """Temp slice indexes plus exact scan of the partial tail slice."""
         size = self.config.slice_size
         slices = sorted({s for s, _ in self._temp_indexes.get(field, {})})
-        per_query: list[list[tuple[list, np.ndarray]]] = [
+        per_query: list[list[HitBatch]] = [
             [] for _ in range(queries.shape[0])]
 
         uncovered_from = 0
@@ -414,45 +436,44 @@ class Segment:
                 for qi, item in enumerate(results):
                     per_query[qi].append(item)
 
-        out: list[tuple[list, np.ndarray]] = []
+        out: list[HitBatch] = []
         for qi in range(queries.shape[0]):
-            pk_parts: list = []
-            dist_parts: list[np.ndarray] = []
-            for pks, dists in per_query[qi]:
-                pk_parts.extend(pks)
-                dist_parts.append(np.asarray(dists, dtype=np.float32))
-            if not pk_parts:
-                out.append(([], np.empty(0, dtype=np.float32)))
+            batches = [b for b in per_query[qi] if len(b)]
+            if not batches:
+                out.append(HitBatch.empty())
                 continue
-            dists = np.concatenate(dist_parts)
+            # Slices cover disjoint rows, so no dedup is needed here —
+            # concatenate and reselect the k smallest.
+            pks = np.concatenate([b.pks for b in batches])
+            dists = np.concatenate([b.dists for b in batches])
             idx, vals = topk_smallest(dists, k)
-            out.append(([pk_parts[i] for i in idx], vals))
+            out.append(HitBatch(pks[idx], vals))
         return out
 
     def range_search(self, field: str, query: np.ndarray,
                      threshold: float, metric: MetricType,
                      filter_mask: Optional[np.ndarray] = None,
                      stats: Optional[SearchStats] = None,
-                     ) -> tuple[list, np.ndarray]:
+                     ) -> HitBatch:
         """All live rows with adjusted distance <= ``threshold`` (exact).
 
         Range semantics need every qualifying row, so the scan is always
-        exact over the allowed rows; returns (pks, adjusted distances)
-        sorted ascending.
+        exact over the allowed rows; returns a :class:`HitBatch` sorted
+        ascending.
         """
         stats = stats if stats is not None else SearchStats()
         allowed = self._allowed_mask(filter_mask)
         rows = np.flatnonzero(allowed)
         if not len(rows):
-            return [], np.empty(0, dtype=np.float32)
+            return HitBatch.empty()
         query = np.asarray(query, dtype=np.float32).reshape(1, -1)
         dists = adjusted_distances(query, self.column(field)[rows],
                                    metric)[0]
         stats.float_comparisons += len(rows)
         hit = np.flatnonzero(dists <= threshold)
         order = hit[np.argsort(dists[hit], kind="stable")]
-        return ([self._pks[rows[i]] for i in order],
-                dists[order].astype(np.float32))
+        return HitBatch(self.pk_array[rows[order]],
+                        dists[order].astype(np.float32))
 
     def fetch_rows(self, pks: Sequence) -> dict:
         """Field values of the given live primary keys.

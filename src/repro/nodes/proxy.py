@@ -27,7 +27,7 @@ from repro.core.consistency import ConsistencyLevel, guarantee_ts
 from repro.core.entity import validate_batch
 from repro.core.expr import Const, Compare, Field, FilterExpression, InList
 from repro.core.multivector import MultiVectorQuery
-from repro.core.results import SearchHit, SearchResult, merge_topk
+from repro.core.results import HitBatch, SearchResult, merge_topk
 from repro.core.schema import MetricType
 from repro.core.tso import TimestampOracle
 from repro.errors import CollectionNotFound, ConsistencyTimeout, ManuError
@@ -66,6 +66,17 @@ class Proxy:
         self._root = root_coord
         self._query_coord = query_coord
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Metric handles are live objects; resolve them once instead of
+        # rebuilding f-string names on every request.
+        self._inserts_counter = self.metrics.counter(
+            f"proxy.{name}.inserts")
+        self._deletes_counter = self.metrics.counter(
+            f"proxy.{name}.deletes")
+        self._searches_counter = self.metrics.counter(
+            f"proxy.{name}.searches")
+        self._batched_counter = self.metrics.counter(
+            f"proxy.{name}.batched_searches")
+        self._search_latency = self.metrics.latency("proxy.search_latency")
         self._session_ts = 0
         # Request batching (Section 3.6): same-typed searches accumulated
         # within the configured window, executed as one batch.
@@ -94,8 +105,7 @@ class Proxy:
         batch = validate_batch(schema, data)
         ts = self._loggers.insert(collection, batch)
         self._session_ts = max(self._session_ts, ts)
-        self.metrics.counter(f"proxy.{self.name}.inserts").inc(
-            batch.num_rows)
+        self._inserts_counter.inc(batch.num_rows)
         return batch.pks
 
     def delete(self, collection: str, expr: str) -> int:
@@ -109,7 +119,7 @@ class Proxy:
                            schema.primary_field.name)
         ts, deleted = self._loggers.delete(collection, tuple(pks))
         self._session_ts = max(self._session_ts, ts)
-        self.metrics.counter(f"proxy.{self.name}.deletes").inc(deleted)
+        self._deletes_counter.inc(deleted)
         return deleted
 
     # ------------------------------------------------------------------
@@ -169,15 +179,15 @@ class Proxy:
 
         results = []
         for parts in per_query_partials:
+            # Partials stay array-native through the global merge; hits
+            # only become SearchHit objects at the SearchResult boundary.
             hits = merge_topk(parts, k)
             results.append(SearchResult(
-                hits=hits, metric=metric, latency_ms=latency,
+                hits=hits.to_hits(), metric=metric, latency_ms=latency,
                 consistency_wait_ms=wait_ms,
                 segments_searched=segments_total))
-        self.metrics.latency("proxy.search_latency").record(
-            self._loop.now(), latency)
-        self.metrics.counter(f"proxy.{self.name}.searches").inc(
-            queries.shape[0])
+        self._search_latency.record(self._loop.now(), latency)
+        self._searches_counter.inc(queries.shape[0])
         return results
 
     def search_multivector(self, collection: str, query: MultiVectorQuery,
@@ -212,7 +222,7 @@ class Proxy:
             partials.append(hits)
         merge_ms = self._cost.topk_merge_cost(len(nodes), k)
         done_ms = max(finish_times) + merge_ms + self._cost.rpc_hop()
-        return SearchResult(hits=merge_topk(partials, k),
+        return SearchResult(hits=merge_topk(partials, k).to_hits(),
                             metric=query.metric,
                             latency_ms=done_ms - issue_ms,
                             consistency_wait_ms=wait_ms,
@@ -287,23 +297,21 @@ class Proxy:
             collection, [n for n, _s in plan], guarantee)
         ready_ms = self._loop.now()
 
-        merged: dict = {}
+        partials: list[HitBatch] = []
         finish_times = []
         for node, scope in plan:
             start = max(ready_ms + self._cost.rpc_hop(), node.busy_until_ms)
-            hits, service_ms = node.range_search(
+            batch, service_ms = node.range_search(
                 collection, field, query, threshold, metric,
                 expr=filter_expr, scope=scope)
             node.busy_until_ms = start + service_ms
             finish_times.append(node.busy_until_ms)
-            for hit in hits:
-                if hit.pk not in merged \
-                        or hit.adjusted_distance < merged[hit.pk]:
-                    merged[hit.pk] = hit.adjusted_distance
-        ordered = sorted(SearchHit(dist, pk)
-                         for pk, dist in merged.items())
-        if limit is not None:
-            ordered = ordered[:limit]
+            partials.append(batch)
+        # merge_topk dedups replica copies (best hit per pk); with no limit
+        # the "k" is the total candidate count, i.e. keep everything.
+        k_eff = limit if limit is not None \
+            else sum(len(b) for b in partials)
+        ordered = merge_topk(partials, k_eff).to_hits()
         done_ms = max(finish_times) + self._cost.rpc_hop()
         return SearchResult(hits=ordered, metric=metric,
                             latency_ms=done_ms - issue_ms,
@@ -362,8 +370,7 @@ class Proxy:
         for (_q, handle), result in zip(batch, results):
             handle.result = result
         self.batches_flushed += 1
-        self.metrics.counter(f"proxy.{self.name}.batched_searches").inc(
-            len(batch))
+        self._batched_counter.inc(len(batch))
 
     def flush_batches(self) -> int:
         """Force-flush all pending batches; returns requests flushed."""

@@ -26,11 +26,12 @@ from typing import Optional
 import numpy as np
 
 from repro.config import ManuConfig
+from repro.core.checkpoint import read_delete_deltas
 from repro.core.consistency import ConsistencyGate
 from repro.core.expr import FilterExpression
 from repro.core.filtering import FilterStrategy, filtered_search
 from repro.core.multivector import MultiVectorQuery, search_segment
-from repro.core.results import SearchHit, hits_from_arrays, merge_topk
+from repro.core.results import HitBatch, merge_topk
 from repro.core.schema import CollectionSchema, MetricType
 from repro.core.segment import Segment
 from repro.errors import ClusterStateError
@@ -65,11 +66,19 @@ class QueryNode:
         self._subs: dict[str, Subscription] = {}
         self._owned_channels: set[str] = set()
         # (collection, segment_id) -> Segment; growing and sealed together.
+        # ``_by_collection`` is the per-collection registry the request
+        # path iterates, so one collection's search never scans another
+        # collection's segment keys.
         self._segments: dict[tuple[str, str], Segment] = {}
+        self._by_collection: dict[str, dict[str, Segment]] = {}
         self._growing_ids: set[tuple[str, str]] = set()
         self._gates: dict[str, ConsistencyGate] = {}  # per collection
         # Deletions seen per collection: pk -> ts (applied to late loads).
         self._seen_deletes: dict[str, dict] = {}
+        # Persisted delete-delta log, cached per collection so loading N
+        # sealed segments reads the object store once, not N times;
+        # invalidated whenever new deletions flow in from the WAL.
+        self._delta_cache: dict[str, list[tuple[object, int]]] = {}
         self.busy_until_ms = 0.0
         self.searches_served = 0
         self.alive = True
@@ -130,7 +139,7 @@ class QueryNode:
                               self._config.segment)
             segment.temp_index_enabled = \
                 self._config.segment.enable_temp_index
-            self._segments[key] = segment
+            self._register(key, segment)
             self._growing_ids.add(key)
         self._segments[key].append(list(record.pks), dict(record.columns),
                                    record.ts, now_ms=self._loop.now())
@@ -139,13 +148,28 @@ class QueryNode:
         history = self._seen_deletes.setdefault(collection, {})
         for pk in record.pks:
             history[pk] = record.ts
-        for (coll, _sid), segment in self._segments.items():
-            if coll == collection:
-                segment.apply_delete(record.pks, record.ts)
+        # New deletions may since have been flushed into the persisted
+        # delta log too; drop the cached copy so late loads re-read it.
+        self._delta_cache.pop(collection, None)
+        for segment in self._by_collection.get(collection, {}).values():
+            segment.apply_delete(record.pks, record.ts)
 
     # ------------------------------------------------------------------
     # segment management
     # ------------------------------------------------------------------
+
+    def _register(self, key: tuple[str, str], segment: Segment) -> None:
+        self._segments[key] = segment
+        self._by_collection.setdefault(key[0], {})[key[1]] = segment
+
+    def _unregister(self, key: tuple[str, str]) -> Optional[Segment]:
+        removed = self._segments.pop(key, None)
+        per_coll = self._by_collection.get(key[0])
+        if per_coll is not None:
+            per_coll.pop(key[1], None)
+            if not per_coll:
+                del self._by_collection[key[0]]
+        return removed
 
     def load_segment(self, collection: str, segment_id: str) -> float:
         """Load a sealed segment from its binlog; returns load duration.
@@ -171,12 +195,17 @@ class QueryNode:
             segment.apply_delete(late, max(history[pk] for pk in late))
         # Deletions that predate this node's log subscription live in the
         # persisted delete-delta logs (WAL retention may have dropped
-        # them); re-apply any newer than the binlog's progress.
-        from repro.core.checkpoint import read_delete_deltas
-        for pk, ts in read_delete_deltas(self._store, collection):
+        # them); re-apply any newer than the binlog's progress.  The log
+        # is cached per collection so a bulk load of N segments costs one
+        # object-store read, not N.
+        deltas = self._delta_cache.get(collection)
+        if deltas is None:
+            deltas = read_delete_deltas(self._store, collection)
+            self._delta_cache[collection] = deltas
+        for pk, ts in deltas:
             if ts > manifest.max_lsn:
                 segment.apply_delete([pk], ts)
-        self._segments[key] = segment
+        self._register(key, segment)
         self._growing_ids.discard(key)
         nbytes = sum(v.nbytes if isinstance(v, np.ndarray)
                      else sum(len(str(x)) for x in v)
@@ -185,7 +214,7 @@ class QueryNode:
 
     def release_segment(self, collection: str, segment_id: str) -> bool:
         """Drop a segment copy (handoff done, rebalance, or release)."""
-        removed = self._segments.pop((collection, segment_id), None)
+        removed = self._unregister((collection, segment_id))
         self._growing_ids.discard((collection, segment_id))
         return removed is not None
 
@@ -203,20 +232,29 @@ class QueryNode:
         return self._cost.object_read(len(raw))
 
     def segments_of(self, collection: str) -> list[str]:
-        return sorted(sid for (coll, sid) in self._segments
-                      if coll == collection)
+        return sorted(self._by_collection.get(collection, {}))
 
     def sealed_segments_of(self, collection: str) -> list[str]:
-        return sorted(sid for (coll, sid) in self._segments
-                      if coll == collection
-                      and (coll, sid) not in self._growing_ids)
+        return sorted(sid for sid in self._by_collection.get(collection, {})
+                      if (collection, sid) not in self._growing_ids)
 
     def segment(self, collection: str, segment_id: str) -> Optional[Segment]:
         return self._segments.get((collection, segment_id))
 
+    def holds_collection(self, collection: str) -> bool:
+        """Whether any segment of the collection lives on this node."""
+        return bool(self._by_collection.get(collection))
+
+    def is_growing(self, collection: str, segment_id: str) -> bool:
+        """Whether the local copy of a segment is still growing."""
+        return (collection, segment_id) in self._growing_ids
+
     def num_rows(self, collection: Optional[str] = None) -> int:
-        return sum(seg.num_rows for (coll, _), seg in self._segments.items()
-                   if collection is None or coll == collection)
+        if collection is None:
+            return sum(seg.num_rows for seg in self._segments.values())
+        return sum(seg.num_rows
+                   for seg in self._by_collection.get(collection,
+                                                      {}).values())
 
     def memory_bytes(self) -> int:
         return sum(seg.memory_bytes() for seg in self._segments.values())
@@ -247,37 +285,43 @@ class QueryNode:
             return True
         return key[1] in scope
 
+    def _scoped_segments(self, collection: str,
+                         scope: Optional[set[str]]) -> list[Segment]:
+        """Local segments participating in a request, in segment-id order."""
+        per_coll = self._by_collection.get(collection, {})
+        return [segment for sid, segment in sorted(per_coll.items())
+                if segment.num_rows > 0
+                and self._in_scope((collection, sid), scope)]
+
     def search(self, collection: str, field: str, queries: np.ndarray,
                k: int, metric: MetricType,
                expr: Optional[FilterExpression] = None,
                forced_strategy: Optional[FilterStrategy] = None,
                scope: Optional[set[str]] = None,
-               ) -> tuple[list[list[SearchHit]], float, int]:
+               ) -> tuple[list[HitBatch], float, int]:
         """Node-local two-phase reduce.
 
-        Returns (per-query node-wise top-k hits, virtual service duration
-        from the cost model, number of segments searched).
+        Returns (per-query node-wise top-k :class:`HitBatch`es, virtual
+        service duration from the cost model, number of segments
+        searched).  Batches stay array-native end to end: segment scans
+        hand back (pks, dists) ndarrays that are merged by concatenation
+        and one stable sort per query — no per-hit objects.
         """
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
         stats = SearchStats()
-        per_query_partials: list[list[list[SearchHit]]] = [
+        per_query_partials: list[list[HitBatch]] = [
             [] for _ in range(queries.shape[0])]
         searched = 0
-        for (coll, _sid), segment in sorted(self._segments.items()):
-            if coll != collection or segment.num_rows == 0:
-                continue
-            if not self._in_scope((coll, _sid), scope):
-                continue
+        for segment in self._scoped_segments(collection, scope):
             results, _plan = filtered_search(segment, field, queries, k,
                                              metric, expr, stats=stats,
                                              forced=forced_strategy)
             searched += 1
-            for qi, (pks, dists) in enumerate(results):
-                if pks:
-                    per_query_partials[qi].append(
-                        hits_from_arrays(pks, dists))
+            for qi, batch in enumerate(results):
+                if batch:
+                    per_query_partials[qi].append(batch)
         merged = [merge_topk(parts, k) for parts in per_query_partials]
         service_ms = self.service_time_ms(stats, queries.shape[0])
         self.searches_served += queries.shape[0]
@@ -285,20 +329,16 @@ class QueryNode:
 
     def search_multivector(self, collection: str, query: MultiVectorQuery,
                            k: int, scope: Optional[set[str]] = None,
-                           ) -> tuple[list[SearchHit], float, int]:
+                           ) -> tuple[HitBatch, float, int]:
         """Node-local multi-vector search (single query vector set)."""
         stats = SearchStats()
-        partials: list[list[SearchHit]] = []
+        partials: list[HitBatch] = []
         searched = 0
-        for (coll, _sid), segment in sorted(self._segments.items()):
-            if coll != collection or segment.num_rows == 0:
-                continue
-            if not self._in_scope((coll, _sid), scope):
-                continue
-            pks, dists = search_segment(segment, query, k, stats=stats)
+        for segment in self._scoped_segments(collection, scope):
+            batch = search_segment(segment, query, k, stats=stats)
             searched += 1
-            if pks:
-                partials.append(hits_from_arrays(pks, dists))
+            if batch:
+                partials.append(batch)
         merged = merge_topk(partials, k)
         return merged, self.service_time_ms(stats, 1), searched
 
@@ -306,31 +346,23 @@ class QueryNode:
                      threshold: float, metric: MetricType,
                      expr: Optional[FilterExpression] = None,
                      scope: Optional[set[str]] = None,
-                     ) -> tuple[list[SearchHit], float]:
+                     ) -> tuple[HitBatch, float]:
         """All local rows within the adjusted-distance threshold."""
         from repro.core.filtering import compute_mask
         stats = SearchStats()
-        hits: list[SearchHit] = []
-        for (coll, _sid), segment in sorted(self._segments.items()):
-            if coll != collection or segment.num_rows == 0:
-                continue
-            if not self._in_scope((coll, _sid), scope):
-                continue
+        partials: list[HitBatch] = []
+        for segment in self._scoped_segments(collection, scope):
             mask = compute_mask(segment, expr) if expr is not None else None
-            pks, dists = segment.range_search(field, query, threshold,
-                                              metric, filter_mask=mask,
-                                              stats=stats)
-            hits.extend(SearchHit(float(d), pk)
-                        for pk, d in zip(pks, dists))
-        hits.sort()
-        return hits, self.service_time_ms(stats, 1)
+            partials.append(segment.range_search(field, query, threshold,
+                                                 metric, filter_mask=mask,
+                                                 stats=stats))
+        return HitBatch.concat(partials), self.service_time_ms(stats, 1)
 
     def fetch(self, collection: str, pks) -> dict:
         """Field values for the given pks held live on this node."""
         out: dict = {}
-        for (coll, _sid), segment in sorted(self._segments.items()):
-            if coll != collection:
-                continue
+        per_coll = self._by_collection.get(collection, {})
+        for _sid, segment in sorted(per_coll.items()):
             out.update(segment.fetch_rows(pks))
         return out
 
@@ -366,5 +398,7 @@ class QueryNode:
         for channel in list(self._subs):
             self.unsubscribe(channel)
         self._segments.clear()
+        self._by_collection.clear()
+        self._delta_cache.clear()
         self._growing_ids.clear()
         self._gates.clear()

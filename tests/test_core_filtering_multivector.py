@@ -85,19 +85,19 @@ class TestFilteredSearch:
             out, _plan = filtered_search(filter_segment, "vector", query,
                                          5, MetricType.EUCLIDEAN, expr,
                                          forced=strategy)
-            results[strategy] = out[0][0]
+            results[strategy] = out[0]
         assert results[FilterStrategy.PRE_FILTER] == \
             results[FilterStrategy.POST_FILTER] == \
             results[FilterStrategy.SCAN_FILTER]
-        assert all(100 <= pk < 200
-                   for pk in results[FilterStrategy.PRE_FILTER])
+        assert all(100 <= hit.pk < 200
+                   for hit in results[FilterStrategy.PRE_FILTER])
 
     def test_no_expr_plain_search(self, filter_segment, rng):
         query = rng.standard_normal((1, 8)).astype(np.float32)
         out, plan = filtered_search(filter_segment, "vector", query, 5,
                                     MetricType.EUCLIDEAN, None)
         assert plan is None
-        assert len(out[0][0]) == 5
+        assert len(out[0]) == 5
 
     def test_plan_exposed(self, filter_segment, rng):
         query = rng.standard_normal((1, 8)).astype(np.float32)
@@ -141,15 +141,14 @@ class TestMultiVector:
 
     def test_matches_exhaustive_combined_score(self, mv_segment, rng):
         query = make_query(rng)
-        pks, dists = search_segment(mv_segment, query, 5,
-                                    amplification=40)
+        batch = search_segment(mv_segment, query, 5, amplification=40)
         image = mv_segment.column("image")
         text = mv_segment.column("text")
         combined = (-1.0 * (image @ query.queries["image"])
                     - 0.5 * (text @ query.queries["text"]))
         expected = np.argsort(combined, kind="stable")[:5]
-        assert pks == [int(i) for i in expected]
-        assert np.allclose(dists, combined[expected], atol=1e-4)
+        assert batch.pks.tolist() == [int(i) for i in expected]
+        assert np.allclose(batch.dists, combined[expected], atol=1e-4)
 
     def test_weights_matter(self, mv_segment, rng):
         only_image = MultiVectorQuery(
@@ -158,19 +157,18 @@ class TestMultiVector:
                      "text": rng.standard_normal(4).astype(np.float32)},
             weights={"image": 1.0, "text": 0.0},
             metric=MetricType.INNER_PRODUCT)
-        pks, _ = search_segment(mv_segment, only_image, 3,
-                                amplification=40)
+        batch = search_segment(mv_segment, only_image, 3,
+                               amplification=40)
         image = mv_segment.column("image")
         expected = np.argsort(-(image @ only_image.queries["image"]),
                               kind="stable")[:3]
-        assert pks == [int(i) for i in expected]
+        assert batch.pks.tolist() == [int(i) for i in expected]
 
     def test_euclidean_rerank(self, mv_segment, rng):
         query = make_query(rng, MetricType.EUCLIDEAN)
-        pks, dists = search_segment(mv_segment, query, 5,
-                                    amplification=40)
-        assert len(pks) == 5
-        assert (np.diff(dists) >= -1e-5).all()
+        batch = search_segment(mv_segment, query, 5, amplification=40)
+        assert len(batch) == 5
+        assert (np.diff(batch.dists) >= -1e-5).all()
 
     def test_missing_weight_rejected(self, rng):
         with pytest.raises(ValueError):
@@ -189,9 +187,8 @@ class TestMultiVector:
 
     def test_deletes_respected(self, mv_segment, rng):
         query = make_query(rng)
-        pks, _ = search_segment(mv_segment, query, 3, amplification=40)
-        top = pks[0]
+        batch = search_segment(mv_segment, query, 3, amplification=40)
+        top = batch[0].pk
         mv_segment.apply_delete([top], 99)
-        pks_after, _ = search_segment(mv_segment, query, 3,
-                                      amplification=40)
-        assert top not in pks_after
+        after = search_segment(mv_segment, query, 3, amplification=40)
+        assert top not in after.pks.tolist()

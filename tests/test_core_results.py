@@ -1,13 +1,16 @@
 """Tests for search results and the two-phase top-k reduce."""
 
 import numpy as np
+import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.results import (
+    HitBatch,
     SearchHit,
     SearchResult,
     hits_from_arrays,
     merge_topk,
+    merge_topk_reference,
 )
 from repro.core.schema import MetricType
 
@@ -81,6 +84,135 @@ class TestMergeTopk:
         assert dists == sorted(dists)
         pks = [h.pk for h in merged]
         assert len(set(pks)) == len(pks)
+
+
+class TestHitBatch:
+    def test_from_unsorted_sorts_stably(self):
+        batch = HitBatch.from_unsorted(["a", "b", "c", "d"],
+                                       [2.0, 1.0, 2.0, 1.0])
+        assert batch.pks.tolist() == ["b", "d", "a", "c"]
+        assert batch.dists.tolist() == [1.0, 1.0, 2.0, 2.0]
+
+    def test_concat_tie_order_matches_streaming_merge(self):
+        import heapq
+        a = HitBatch(["a1", "a2"], [1.0, 2.0])
+        b = HitBatch(["b1", "b2"], [1.0, 2.0])
+        merged = HitBatch.concat([a, b])
+        streamed = list(heapq.merge(a.to_hits(), b.to_hits()))
+        assert [(h.pk, h.adjusted_distance) for h in merged.to_hits()] == \
+            [(h.pk, h.adjusted_distance) for h in streamed]
+
+    def test_concat_skips_empties_and_passthrough(self):
+        a = HitBatch([1, 2], [0.5, 0.6])
+        assert HitBatch.concat([HitBatch.empty(), a]) is a
+        assert len(HitBatch.concat([])) == 0
+
+    def test_topk_truncates_and_passthrough(self):
+        batch = HitBatch([1, 2, 3], [0.1, 0.2, 0.3])
+        assert batch.topk(2).pks.tolist() == [1, 2]
+        assert batch.topk(5) is batch
+        assert len(batch.topk(0)) == 0
+
+    def test_sequence_protocol_materializes_native_hits(self):
+        batch = HitBatch(np.asarray([7, 8], dtype=np.int64),
+                         np.asarray([0.25, 0.75], dtype=np.float32))
+        hit = batch[0]
+        assert isinstance(hit, SearchHit)
+        assert hit.pk == 7 and type(hit.pk) is int
+        assert isinstance(hit.adjusted_distance, float)
+        assert [h.pk for h in batch] == [7, 8]
+        assert all(type(h.pk) is int for h in batch.to_hits())
+
+    def test_eq_against_hit_list(self):
+        batch = HitBatch(["a"], [1.5])
+        assert batch == [SearchHit(1.5, "a")]
+        assert batch != [SearchHit(2.5, "a")]
+
+    def test_from_hits_heterogeneous_pks_stay_objects(self):
+        hits = [SearchHit(0.1, 1), SearchHit(0.2, "x")]
+        batch = HitBatch.from_hits(hits)
+        assert batch.pks.dtype.kind == "O"
+        assert batch.to_hits()[0].pk == 1
+
+
+def _reference(partial_lists, k):
+    return [(h.pk, h.adjusted_distance)
+            for h in merge_topk_reference(partial_lists, k)]
+
+
+def _vectorized(partials, k):
+    return [(h.pk, h.adjusted_distance)
+            for h in merge_topk(partials, k).to_hits()]
+
+
+class TestVectorizedEquivalence:
+    """merge_topk must stay hit-for-hit identical to the object oracle."""
+
+    CASES = {
+        "duplicate_pks_across_replicas": (
+            [[(1.0, "x"), (3.0, "y")], [(2.0, "x"), (2.5, "z")],
+             [(0.5, "y"), (4.0, "x")]], 10),
+        "distance_ties_across_partials": (
+            [[(1.0, "a"), (1.0, "b")], [(1.0, "c"), (1.0, "d")]], 4),
+        "tie_between_copies_of_same_pk": (
+            [[(1.0, "a")], [(1.0, "a"), (1.0, "b")]], 3),
+        "k_one": ([[(2.0, 10), (3.0, 11)], [(1.0, 12)]], 1),
+        "k_exceeds_total": ([[(1.0, 1)], [(2.0, 2)]], 100),
+        "empty_partials_mixed_in": (
+            [[], [(1.0, 5)], [], [(0.5, 6)]], 5),
+        "all_empty": ([[], []], 5),
+        "single_partial": ([[(0.1, 0), (0.2, 1), (0.3, 2)]], 2),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_matrix_case(self, name):
+        raw, k = self.CASES[name]
+        hit_lists = [[SearchHit(d, pk) for d, pk in lst] for lst in raw]
+        assert _vectorized(hit_lists, k) == _reference(hit_lists, k)
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_matrix_case_via_hitbatch(self, name):
+        """Same matrix with array-native partials (the hot-path shape)."""
+        raw, k = self.CASES[name]
+        hit_lists = [[SearchHit(d, pk) for d, pk in lst] for lst in raw]
+        batches = [HitBatch.from_hits(lst) for lst in hit_lists]
+        assert _vectorized(batches, k) == _reference(hit_lists, k)
+
+    def test_k_zero_returns_empty(self):
+        hits = [[SearchHit(1.0, "a")]]
+        assert _vectorized(hits, 0) == _reference(hits, 0) == []
+
+    @given(st.lists(
+        st.lists(st.tuples(st.floats(0, 100), st.integers(0, 30)),
+                 max_size=25),
+        min_size=0, max_size=6),
+        st.integers(0, 20))
+    def test_property_int_pks(self, raw_lists, k):
+        hit_lists = [sorted(SearchHit(d, pk) for d, pk in lst)
+                     for lst in raw_lists]
+        expected = _reference(hit_lists, k)
+        assert _vectorized(hit_lists, k) == expected
+        batches = [HitBatch.from_hits(lst) for lst in hit_lists]
+        assert _vectorized(batches, k) == expected
+
+    @given(st.lists(
+        st.lists(st.tuples(st.floats(0, 10),
+                           st.sampled_from(["p0", "p1", "p2", "p3"])),
+                 max_size=10),
+        min_size=1, max_size=4),
+        st.integers(1, 8))
+    def test_property_str_pks(self, raw_lists, k):
+        hit_lists = [sorted(SearchHit(d, pk) for d, pk in lst)
+                     for lst in raw_lists]
+        batches = [HitBatch.from_hits(lst) for lst in hit_lists]
+        assert _vectorized(batches, k) == _reference(hit_lists, k)
+
+    def test_mixed_partial_kinds(self):
+        """HitBatch and plain hit-list partials merge interchangeably."""
+        as_list = [SearchHit(1.0, "a"), SearchHit(3.0, "c")]
+        as_batch = HitBatch(["b", "a"], [2.0, 2.5])
+        expected = _reference([as_list, list(as_batch)], 3)
+        assert _vectorized([as_list, as_batch], 3) == expected
 
 
 class TestHelpers:

@@ -132,10 +132,10 @@ class TestDeletes:
         pks = fill(segment, rng, 50)
         query = segment.column("vector")[7]
         results = segment.search("vector", query, 1, MetricType.EUCLIDEAN)
-        assert results[0][0][0] == pks[7]
+        assert results[0][0].pk == pks[7]
         segment.apply_delete([pks[7]], 99)
         results = segment.search("vector", query, 1, MetricType.EUCLIDEAN)
-        assert results[0][0][0] != pks[7]
+        assert results[0][0].pk != pks[7]
 
 
 class TestTempIndexes:
@@ -162,7 +162,7 @@ class TestTempIndexes:
         for probe in (3, 25, 46):  # slice 0, slice 1, tail
             results = segment.search("vector", vectors[probe], 1,
                                      MetricType.EUCLIDEAN)
-            assert results[0][0][0] == pks[probe]
+            assert results[0][0].pk == pks[probe]
 
 
 class TestSealedIndex:
@@ -177,7 +177,7 @@ class TestSealedIndex:
         assert segment.num_temp_indexes("vector") == 0
         results = segment.search("vector", segment.column("vector")[11], 1,
                                  MetricType.EUCLIDEAN)
-        assert results[0][0][0] == pks[11]
+        assert results[0][0].pk == pks[11]
 
     def test_attach_mismatched_index_rejected(self, schema, config, rng):
         segment = Segment("s1", "c", schema, config)
@@ -197,7 +197,7 @@ class TestFilteredSearch:
         query = segment.column("vector")[3]  # best match is masked out
         results = segment.search("vector", query, 5, MetricType.EUCLIDEAN,
                                  filter_mask=mask)
-        assert all(10 <= pk < 20 for pk in results[0][0])
+        assert all(10 <= pk < 20 for pk in results[0].pks.tolist())
 
     def test_force_brute_matches_indexed(self, schema, config, rng):
         segment = Segment("s1", "c", schema, config)
@@ -208,7 +208,7 @@ class TestFilteredSearch:
         mixed = segment.search("vector", query, 5, MetricType.EUCLIDEAN)
         # Temp IVF probes all 4 lists (nprobe=nlist//4 >= 1)... allow top-1
         # agreement at minimum; exact agreement on brute tail data.
-        assert brute[0][0][0] == mixed[0][0][0]
+        assert brute[0][0].pk == mixed[0][0].pk
 
     def test_wrong_mask_length_raises(self, schema, config, rng):
         segment = Segment("s1", "c", schema, config)
@@ -224,7 +224,7 @@ class TestFilteredSearch:
         results = segment.search("vector", np.zeros(8, dtype=np.float32),
                                  3, MetricType.EUCLIDEAN,
                                  filter_mask=np.zeros(10, dtype=bool))
-        assert results[0][0] == []
+        assert len(results[0]) == 0
 
     def test_starved_postfilter_escalates_to_exact(self, schema, config,
                                                    rng):
@@ -240,7 +240,7 @@ class TestFilteredSearch:
         query = rng.standard_normal(8).astype(np.float32)
         results = segment.search("vector", query, 3, MetricType.EUCLIDEAN,
                                  filter_mask=mask)
-        assert sorted(results[0][0]) == [pks[5], pks[40], pks[77]]
+        assert sorted(results[0].pks.tolist()) == [pks[5], pks[40], pks[77]]
 
     def test_stats_accumulated(self, schema, config, rng):
         segment = Segment("s1", "c", schema, config)

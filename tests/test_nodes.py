@@ -256,6 +256,61 @@ class TestQueryNode:
         assert not segment.contains_pk(8)
         assert segment.contains_pk(7)
 
+    def test_bulk_load_reads_delta_log_once(self, rig, schema, rng,
+                                            monkeypatch):
+        """The persisted delete-delta log is cached per collection."""
+        loop, broker, store, config, channel = rig
+        from repro.log.binlog import BinlogWriter
+        from repro.nodes import query_node as qn_module
+        writer = BinlogWriter(store)
+        for pk, sid in enumerate(("seg-a", "seg-b", "seg-c")):
+            writer.write_segment("coll", sid, [pk], {
+                "vector": rng.standard_normal((1, 8)).astype(np.float32),
+                "price": [1.0]}, 30)
+        node = self._node(rig, schema)
+        calls = []
+        real = qn_module.read_delete_deltas
+        monkeypatch.setattr(
+            qn_module, "read_delete_deltas",
+            lambda *a, **kw: calls.append(1) or real(*a, **kw))
+        for sid in ("seg-a", "seg-b", "seg-c"):
+            node.load_segment("coll", sid)
+        assert len(calls) == 1
+        # A newly consumed delete invalidates the cache: the next load
+        # re-reads the (possibly extended) persisted log.
+        broker.publish(channel, DeleteRecord(ts=50, collection="coll",
+                                             shard=0, pks=(999,)))
+        loop.run_for(5)
+        writer.write_segment("coll", "seg-d", [77], {
+            "vector": rng.standard_normal((1, 8)).astype(np.float32),
+            "price": [1.0]}, 30)
+        node.load_segment("coll", "seg-d")
+        assert len(calls) == 2
+
+    def test_collection_registry_tracks_membership(self, rig, schema,
+                                                   rng):
+        loop, broker, store, _config, channel = rig
+        node = self._node(rig, schema)
+        assert not node.holds_collection("coll")
+        record = insert_record(rng, 10, [1, 2], segment_id="seg-g")
+        broker.publish(channel, record)
+        loop.run_for(5)
+        assert node.holds_collection("coll")
+        assert node.is_growing("coll", "seg-g")
+        from repro.log.binlog import BinlogWriter
+        BinlogWriter(store).write_segment("coll", "seg-s", [7], {
+            "vector": rng.standard_normal((1, 8)).astype(np.float32),
+            "price": [1.0]}, 30)
+        node.load_segment("coll", "seg-s")
+        assert not node.is_growing("coll", "seg-s")
+        assert node.segments_of("coll") == ["seg-g", "seg-s"]
+        assert node.sealed_segments_of("coll") == ["seg-s"]
+        assert node.num_rows("coll") == 3
+        node.release_segment("coll", "seg-s")
+        node.release_segment("coll", "seg-g")
+        assert not node.holds_collection("coll")
+        assert node.num_rows("coll") == 0
+
     def test_attach_index_requires_segment(self, rig, schema):
         node = self._node(rig, schema)
         with pytest.raises(ClusterStateError):

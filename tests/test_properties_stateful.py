@@ -126,12 +126,12 @@ class SegmentMachine(RuleBasedStateMachine):
         query = self.model[pk]
         results = self.segment.search("vector", query, 1,
                                       MetricType.EUCLIDEAN)
-        got = results[0][0]
+        got = results[0]
         pks = np.array(sorted(self.model))
         vectors = np.stack([self.model[p] for p in pks])
         dists = ((vectors - query) ** 2).sum(axis=1)
         expected = int(pks[int(dists.argmin())])
-        assert got and got[0] == expected
+        assert got and got[0].pk == expected
 
     @invariant()
     def contains_matches_model(self):

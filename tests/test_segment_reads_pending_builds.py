@@ -33,26 +33,27 @@ class TestSegmentRangeSearch:
         # adjusted threshold is squared L2.
         exact = ((vectors - base) ** 2).sum(axis=1)
         threshold = float(np.sort(exact)[4]) + 1e-6  # include 5 rows
-        pks, dists = seg.range_search("vector", base, threshold,
-                                      MetricType.EUCLIDEAN)
-        assert pks == [0, 1, 2, 3, 4]
-        assert (np.diff(dists) >= -1e-6).all()
+        batch = seg.range_search("vector", base, threshold,
+                                 MetricType.EUCLIDEAN)
+        assert batch.pks.tolist() == [0, 1, 2, 3, 4]
+        assert (np.diff(batch.dists) >= -1e-6).all()
 
     def test_respects_deletes_and_mask(self, segment):
         seg, base, _vectors = segment
         seg.apply_delete([0], 9)
         mask = np.ones(10, dtype=bool)
         mask[1] = False
-        pks, _ = seg.range_search("vector", base, 1e9,
-                                  MetricType.EUCLIDEAN, filter_mask=mask)
+        batch = seg.range_search("vector", base, 1e9,
+                                 MetricType.EUCLIDEAN, filter_mask=mask)
+        pks = batch.pks.tolist()
         assert 0 not in pks and 1 not in pks
         assert len(pks) == 8
 
     def test_empty_when_nothing_in_range(self, segment):
         seg, base, _v = segment
-        pks, dists = seg.range_search("vector", base + 100.0, 0.001,
-                                      MetricType.EUCLIDEAN)
-        assert pks == [] and len(dists) == 0
+        batch = seg.range_search("vector", base + 100.0, 0.001,
+                                 MetricType.EUCLIDEAN)
+        assert len(batch) == 0
 
 
 class TestSegmentFetchRows:
