@@ -9,6 +9,9 @@ consistency.
 Run: ``python examples/quickstart.py``
 """
 
+import os
+from pathlib import Path
+
 import numpy as np
 
 from repro import (
@@ -82,6 +85,14 @@ def main() -> None:
                             consistency_level="strong")[0]
     assert results.pks[0] not in after.pks
     print(f"deleted top hit; new top result pk={after.pks[0]}")
+
+    # 7. Optional: dump the session's causal traces as Chrome trace-event
+    #    JSON (open in chrome://tracing or https://ui.perfetto.dev).
+    trace_path = os.environ.get("MANU_TRACE")
+    if trace_path:
+        Path(trace_path).write_text(cluster.tracer.export_chrome_trace())
+        traces = len(cluster.tracer.trace_ids())
+        print(f"wrote {traces} traces to {trace_path}")
 
 
 if __name__ == "__main__":

@@ -58,9 +58,9 @@ def main() -> None:
     probe = good[123]
     best = None
     for segment in restored.values():
-        for pks, dists in segment.search("vector", probe, 1,
-                                         MetricType.EUCLIDEAN):
-            for pk, dist in zip(pks, dists):
+        for batch in segment.search("vector", probe, 1,
+                                    MetricType.EUCLIDEAN):
+            for pk, dist in zip(batch.pks, batch.dists):
                 if best is None or dist < best[1]:
                     best = (pk, float(dist))
     print(f"search on the snapshot: nearest to probe is pk={best[0]}")

@@ -51,6 +51,7 @@ from repro.errors import (
     StorageError,
     TimeTravelError,
 )
+from repro.tracing import Span, TraceCollector, TraceContext
 
 __version__ = "0.1.0"
 
@@ -82,5 +83,8 @@ __all__ = [
     "NodeNotFound",
     "ClusterStateError",
     "TimeTravelError",
+    "Span",
+    "TraceCollector",
+    "TraceContext",
     "__version__",
 ]

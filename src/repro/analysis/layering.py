@@ -30,6 +30,7 @@ FORBIDDEN_EDGES = {
     "index": ("nodes", "coord", "cluster", "api"),
     "storage": ("nodes", "coord", "cluster", "api"),
     "log": ("nodes",),
+    "tracing": ("nodes", "coord", "cluster", "api", "log"),
 }
 
 

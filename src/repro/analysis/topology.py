@@ -122,6 +122,16 @@ def classify_channel(value: tuple) -> str:
     return f"other:{text}"
 
 
+def classify_channel_name(name: str) -> str:
+    """Group of a concrete runtime channel name (observed topology).
+
+    The runtime tracer records literal channel strings; this maps them
+    through the same grouping :func:`classify_channel` applies to the
+    abstract values the static pass recovers.
+    """
+    return classify_channel(("literal", name))
+
+
 def declared_edges() -> set[tuple[str, str, str]]:
     """The declared graph as ``(module, action, group)`` edges."""
     edges: set[tuple[str, str, str]] = set()

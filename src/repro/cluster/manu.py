@@ -51,6 +51,7 @@ from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.events import EventLoop
 from repro.storage.metastore import MetaStore
 from repro.storage.object_store import Backend, ObjectStore
+from repro.tracing import TraceCollector
 
 
 class ManuCluster:
@@ -70,9 +71,17 @@ class ManuCluster:
                            else DEFAULT_COST_MODEL)
         self.loop = EventLoop()
         self.tso = TimestampOracle(self.loop.now)
+        # The tracer sits beside the metrics registry: one shared collector
+        # threaded through the broker and every instrumented component.
+        self.tracer = TraceCollector(
+            self.loop.now,
+            enabled=self.config.tracing.enabled,
+            sample_every=self.config.tracing.sample_every,
+            max_traces=self.config.tracing.max_traces)
         self.broker = LogBroker(self.loop,
                                 delivery_delay_ms=self.cost_model
-                                .rpc_latency_ms)
+                                .rpc_latency_ms,
+                                tracer=self.tracer)
         self.store = ObjectStore(store_backend)
         self.metastore = MetaStore()
         self.metrics = MetricsRegistry()
@@ -80,12 +89,15 @@ class ManuCluster:
         # Coordinators.
         self.data_coord = DataCoordinator(self.metastore, self.broker,
                                           self.store, self.tso, self.config,
-                                          self.loop.now)
+                                          self.loop.now,
+                                          tracer=self.tracer)
         self.root_coord = RootCoordinator(self.metastore, self.broker,
                                           self.tso,
-                                          self.config.log.ddl_channel)
+                                          self.config.log.ddl_channel,
+                                          tracer=self.tracer)
         self.index_coord = IndexCoordinator(self.metastore, self.broker,
-                                            self.config, self.data_coord)
+                                            self.config, self.data_coord,
+                                            tracer=self.tracer)
         self.query_coord = QueryCoordinator(self.metastore, self.broker,
                                             self.loop, self.config,
                                             self.data_coord)
@@ -97,7 +109,8 @@ class ManuCluster:
             self.tso, self.broker, self.store, self.data_coord,
             num_shards=self.config.log.num_shards,
             logger_names=logger_names,
-            lsm_memtable_limit=self.config.storage.lsm_memtable_limit)
+            lsm_memtable_limit=self.config.storage.lsm_memtable_limit,
+            tracer=self.tracer)
 
         # Workers.
         self._node_seq = itertools.count()
@@ -105,11 +118,13 @@ class ManuCluster:
         for i in range(num_data_nodes):
             self.data_nodes.append(DataNode(
                 f"dn-{i}", self.loop, self.broker, self.store, self.config,
-                self.cost_model, self.root_coord.get_schema))
+                self.cost_model, self.root_coord.get_schema,
+                tracer=self.tracer))
         self.index_nodes: list[IndexNode] = []
         for i in range(num_index_nodes):
             node = IndexNode(f"in-{i}", self.loop, self.broker, self.store,
-                             self.config, self.cost_model)
+                             self.config, self.cost_model,
+                             tracer=self.tracer)
             self.index_nodes.append(node)
             self.index_coord.add_node(node)
         for i in range(num_query_nodes):
@@ -120,13 +135,16 @@ class ManuCluster:
             self.proxies.append(Proxy(
                 f"proxy-{i}", self.loop, self.tso, self.config,
                 self.cost_model, self.logger_service, self.root_coord,
-                self.query_coord, metrics=self.metrics))
+                self.query_coord, metrics=self.metrics,
+                tracer=self.tracer))
         self._proxy_rr = itertools.cycle(range(num_proxies))
 
         # Time ticks on every data channel plus the coordination channel.
         self.timetick = TimeTickEmitter(
             self.loop, self.broker, self.tso,
-            self.config.log.time_tick_interval_ms)
+            self.config.log.time_tick_interval_ms,
+            tracer=self.tracer,
+            tick_trace_every=self.config.tracing.tick_trace_every)
         self.timetick.start()
 
         # Data nodes consume seal decisions from the coordination channel.
@@ -156,7 +174,7 @@ class ManuCluster:
         name = f"qn-{next(self._node_seq)}"
         node = QueryNode(name, self.loop, self.broker, self.store,
                          self.config, self.cost_model,
-                         self.root_coord.get_schema)
+                         self.root_coord.get_schema, tracer=self.tracer)
         self.query_coord.add_node(node)
         return node
 
@@ -183,9 +201,12 @@ class ManuCluster:
                 data_node.unsubscribe(channel)
 
     def _housekeeping(self) -> None:
-        self.data_coord.check_idle()
-        for data_node in self.data_nodes:
-            data_node.flush_delta_logs()
+        # Idle seals are background work: detach from whatever request
+        # frame happens to be stepping the clock when the timer fires.
+        with self.tracer.detached():
+            self.data_coord.check_idle()
+            for data_node in self.data_nodes:
+                data_node.flush_delta_logs()
 
     # ------------------------------------------------------------------
     # time control

@@ -112,6 +112,23 @@ class ScalingConfig:
 
 
 @dataclass(frozen=True)
+class TracingConfig:
+    """Causal-tracing tunables (DESIGN.md §6c)."""
+
+    enabled: bool = True
+    """Collect spans; off turns the cluster tracer into a no-op."""
+
+    sample_every: int = 1
+    """Head-based sampling: every Nth root request is traced."""
+
+    max_traces: int = 256
+    """Retained traces (FIFO eviction) before old ones are dropped."""
+
+    tick_trace_every: int = 0
+    """Trace every Nth time-tick emission; 0 keeps ticks untraced."""
+
+
+@dataclass(frozen=True)
 class ManuConfig:
     """Top-level configuration for a :class:`repro.cluster.manu.ManuCluster`."""
 
@@ -120,6 +137,7 @@ class ManuConfig:
     storage: StorageConfig = field(default_factory=StorageConfig)
     query: QueryConfig = field(default_factory=QueryConfig)
     scaling: ScalingConfig = field(default_factory=ScalingConfig)
+    tracing: TracingConfig = field(default_factory=TracingConfig)
 
     def with_overrides(self, **sections) -> "ManuConfig":
         """Return a copy with whole sections replaced.

@@ -25,6 +25,7 @@ from repro.log.broker import LogBroker, LogEntry
 from repro.log.wal import CoordRecord, shard_channel
 from repro.storage.metastore import MetaStore
 from repro.storage.object_store import ObjectStore
+from repro.tracing import NOOP_TRACER, TraceCollector
 
 
 @dataclass
@@ -39,13 +40,15 @@ class DataCoordinator:
 
     def __init__(self, metastore: MetaStore, broker: LogBroker,
                  store: ObjectStore, tso: TimestampOracle,
-                 config: ManuConfig, clock_ms) -> None:
+                 config: ManuConfig, clock_ms,
+                 tracer: Optional[TraceCollector] = None) -> None:
         self._meta = metastore
         self._broker = broker
         self._store = store
         self._tso = tso
         self._config = config
         self._clock_ms = clock_ms
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._seq = itertools.count(1)
         self._active: dict[tuple[str, int], _ActiveSegment] = {}
         self._checkpoints = CheckpointManager(store)
@@ -123,13 +126,19 @@ class DataCoordinator:
 
     def _seal(self, collection: str, shard: int, segment_id: str) -> None:
         """Publish the seal decision; data nodes perform the flush."""
-        self._active.pop((collection, shard), None)
-        self._meta.put(f"segments/{collection}/{segment_id}",
-                       {"shard": shard, "state": "sealed"})
-        self._broker.publish(self._config.log.coord_channel, CoordRecord(
-            ts=self._tso.allocate_packed(), kind_name="seal_segment",
-            payload={"collection": collection, "shard": shard,
-                     "segment_id": segment_id}))
+        # The seal often fires mid-insert (allocator rollover); its span
+        # attributes the coordination publish to this coordinator while
+        # keeping the causal link to the triggering request.
+        with self._tracer.span("data_coord.seal", "data-coord",
+                               collection=collection, shard=shard,
+                               segment=segment_id):
+            self._active.pop((collection, shard), None)
+            self._meta.put(f"segments/{collection}/{segment_id}",
+                           {"shard": shard, "state": "sealed"})
+            self._broker.publish(self._config.log.coord_channel, CoordRecord(
+                ts=self._tso.allocate_packed(), kind_name="seal_segment",
+                payload={"collection": collection, "shard": shard,
+                         "segment_id": segment_id}))
 
     def seal_all(self, collection: str) -> list[str]:
         """Force-seal every active growing segment (explicit flush)."""

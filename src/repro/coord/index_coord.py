@@ -25,17 +25,20 @@ from repro.log.broker import LogBroker, LogEntry
 from repro.log.wal import CoordRecord
 from repro.nodes.index_node import IndexNode
 from repro.storage.metastore import MetaStore
+from repro.tracing import NOOP_TRACER, TraceCollector
 
 
 class IndexCoordinator:
     """Index build orchestration."""
 
     def __init__(self, metastore: MetaStore, broker: LogBroker,
-                 config: ManuConfig, data_coord) -> None:
+                 config: ManuConfig, data_coord,
+                 tracer: Optional[TraceCollector] = None) -> None:
         self._meta = metastore
         self._broker = broker
         self._config = config
         self._data_coord = data_coord
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._nodes: dict[str, IndexNode] = {}
         # Builds that could not be dispatched (no live index nodes);
         # drained when capacity returns.
@@ -92,21 +95,24 @@ class IndexCoordinator:
         Returns the virtual completion times of the enqueued builds.
         """
         params = dict(params or {})
-        self._meta.put(f"index_specs/{collection}/{field}", {
-            "index_type": index_type.upper(),
-            "metric": metric.value,
-            "params": params,
-        })
-        done_times = []
-        for segment_id in self._data_coord.flushed_segments(collection):
-            if self.index_route(collection, segment_id, field) is None:
-                try:
-                    done_times.append(self._dispatch(collection,
-                                                     segment_id, field))
-                except ClusterStateError:
-                    self._pending_builds.append((collection, segment_id,
-                                                 field))
-        return done_times
+        with self._tracer.span("index_coord.create_index", "index-coord",
+                               collection=collection, field=field,
+                               index_type=index_type.upper()):
+            self._meta.put(f"index_specs/{collection}/{field}", {
+                "index_type": index_type.upper(),
+                "metric": metric.value,
+                "params": params,
+            })
+            done_times = []
+            for segment_id in self._data_coord.flushed_segments(collection):
+                if self.index_route(collection, segment_id, field) is None:
+                    try:
+                        done_times.append(self._dispatch(collection,
+                                                         segment_id, field))
+                    except ClusterStateError:
+                        self._pending_builds.append((collection, segment_id,
+                                                     field))
+            return done_times
 
     def drop_index(self, collection: str, field: str) -> None:
         self._meta.delete(f"index_specs/{collection}/{field}")

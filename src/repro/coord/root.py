@@ -17,6 +17,7 @@ from repro.errors import CollectionAlreadyExists, CollectionNotFound
 from repro.log.broker import LogBroker
 from repro.log.wal import DdlRecord
 from repro.storage.metastore import MetaStore
+from repro.tracing import NOOP_TRACER, TraceCollector
 
 _CATALOG_PREFIX = "collections/"
 
@@ -25,11 +26,13 @@ class RootCoordinator:
     """Catalog + DDL coordinator."""
 
     def __init__(self, metastore: MetaStore, broker: LogBroker,
-                 tso: TimestampOracle, ddl_channel: str) -> None:
+                 tso: TimestampOracle, ddl_channel: str,
+                 tracer: Optional[TraceCollector] = None) -> None:
         self._meta = metastore
         self._broker = broker
         self._tso = tso
         self._ddl_channel = ddl_channel
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._broker.create_channel(ddl_channel)
         self._on_create: list[Callable[[str, CollectionSchema], None]] = []
         self._on_drop: list[Callable[[str], None]] = []
@@ -53,27 +56,31 @@ class RootCoordinator:
         key = _CATALOG_PREFIX + name
         if self._meta.get(key) is not None:
             raise CollectionAlreadyExists(name)
-        ts = self._tso.allocate_packed()
-        self._meta.put(key, schema.to_dict(), expected_revision=0)
-        self._schema_cache[name] = schema
-        self._broker.publish(self._ddl_channel, DdlRecord(
-            ts=ts, op="create_collection", collection=name,
-            payload=schema.to_dict()))
-        for hook in self._on_create:
-            hook(name, schema)
+        with self._tracer.span("root_coord.create_collection",
+                               "root-coord", collection=name):
+            lsn = self._tso.allocate_packed()
+            self._meta.put(key, schema.to_dict(), expected_revision=0)
+            self._schema_cache[name] = schema
+            self._broker.publish(self._ddl_channel, DdlRecord(
+                ts=lsn, op="create_collection", collection=name,
+                payload=schema.to_dict()))
+            for hook in self._on_create:
+                hook(name, schema)
 
     def drop_collection(self, name: str) -> None:
         """Drop a collection; raises when it does not exist."""
         key = _CATALOG_PREFIX + name
         if self._meta.get(key) is None:
             raise CollectionNotFound(name)
-        ts = self._tso.allocate_packed()
-        self._meta.delete(key)
-        self._schema_cache.pop(name, None)
-        self._broker.publish(self._ddl_channel, DdlRecord(
-            ts=ts, op="drop_collection", collection=name))
-        for hook in self._on_drop:
-            hook(name)
+        with self._tracer.span("root_coord.drop_collection",
+                               "root-coord", collection=name):
+            lsn = self._tso.allocate_packed()
+            self._meta.delete(key)
+            self._schema_cache.pop(name, None)
+            self._broker.publish(self._ddl_channel, DdlRecord(
+                ts=lsn, op="drop_collection", collection=name))
+            for hook in self._on_drop:
+                hook(name)
 
     # ------------------------------------------------------------------
     # catalog reads

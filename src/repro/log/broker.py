@@ -80,9 +80,14 @@ class LogBroker:
 
     def __init__(self, loop: Optional[EventLoop] = None,
                  delivery_delay_ms: float = 0.5,
-                 manu_check: Optional[bool] = None) -> None:
+                 manu_check: Optional[bool] = None,
+                 tracer=None) -> None:
         self._loop = loop
         self.delivery_delay_ms = delivery_delay_ms
+        # Optional repro.tracing.TraceCollector (duck-typed so the log
+        # layer stays import-free of tracing): stamps published records
+        # with the ambient trace context and opens delivery spans.
+        self.tracer = tracer
         self._channels: dict[str, list[LogEntry]] = {}
         self._base_offsets: dict[str, int] = {}
         self._subs: dict[str, list[Subscription]] = {}
@@ -124,6 +129,8 @@ class LogBroker:
     def publish(self, channel: str, payload: Any) -> int:
         """Append a payload; returns its offset and triggers deliveries."""
         entries = self._entries(channel)
+        if self.tracer is not None:
+            payload = self.tracer.on_publish(channel, payload)
         if self.manu_check:
             self._check_monotonic(channel, payload)
         offset = self._base_offsets[channel] + len(entries)
@@ -206,7 +213,7 @@ class LogBroker:
             for entry in sub.poll():
                 if not sub.active:
                     break
-                sub.callback(entry)
+                self._dispatch(sub, entry)
             # New entries may have been appended while flushing.
             if sub.active and sub.lag() > 0:
                 self._deliver(sub)
@@ -216,6 +223,14 @@ class LogBroker:
                                   name=f"log-delivery:{sub.name}")
         else:
             flush()
+
+    def _dispatch(self, sub: Subscription, entry: LogEntry) -> None:
+        """Invoke one callback, inside a delivery span for traced records."""
+        if self.tracer is None:
+            sub.callback(entry)
+            return
+        with self.tracer.deliver(sub.name, entry):
+            sub.callback(entry)
 
     # ------------------------------------------------------------------
     # retention

@@ -29,6 +29,7 @@ from repro.log.hashring import HashRing
 from repro.log.wal import DeleteRecord, InsertRecord, shard_channel
 from repro.storage.lsm import LsmTree
 from repro.storage.object_store import ObjectStore
+from repro.tracing import NOOP_TRACER, TraceCollector
 
 
 class SegmentAllocator(Protocol):
@@ -61,21 +62,27 @@ class Logger:
     """One logger node; operates on the shard states handed to it."""
 
     def __init__(self, name: str, tso: TimestampOracle,
-                 broker: LogBroker) -> None:
+                 broker: LogBroker,
+                 tracer: Optional[TraceCollector] = None) -> None:
         self.name = name
         self._tso = tso
         self._broker = broker
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._component = f"logger:{name}"
         self.records_published = 0
 
     def publish_insert(self, collection: str, shard: int, segment_id: str,
                        pks: tuple, columns: Mapping,
                        mapping: LsmTree) -> int:
         """Publish one shard-batch; returns the packed LSN."""
-        ts = self._tso.allocate_packed()
-        record = InsertRecord(ts=ts, collection=collection, shard=shard,
-                              segment_id=segment_id, pks=pks,
-                              columns=columns)
-        self._broker.publish(shard_channel(collection, shard), record)
+        with self._tracer.span("logger.publish_insert", self._component,
+                               collection=collection, shard=shard,
+                               segment=segment_id, rows=len(pks)):
+            ts = self._tso.allocate_packed()
+            record = InsertRecord(ts=ts, collection=collection, shard=shard,
+                                  segment_id=segment_id, pks=pks,
+                                  columns=columns)
+            self._broker.publish(shard_channel(collection, shard), record)
         for pk in pks:
             mapping.put(str(pk), segment_id)
         self.records_published += 1
@@ -92,9 +99,13 @@ class Logger:
         existing = tuple(pk for pk in pks if mapping.get(str(pk)) is not None)
         ts = self._tso.allocate_packed()
         if existing:
-            record = DeleteRecord(ts=ts, collection=collection, shard=shard,
-                                  pks=existing)
-            self._broker.publish(shard_channel(collection, shard), record)
+            with self._tracer.span("logger.publish_delete",
+                                   self._component, collection=collection,
+                                   shard=shard, rows=len(existing)):
+                record = DeleteRecord(ts=ts, collection=collection,
+                                      shard=shard, pks=existing)
+                self._broker.publish(shard_channel(collection, shard),
+                                     record)
             for pk in existing:
                 mapping.delete(str(pk))
             self.records_published += 1
@@ -107,11 +118,13 @@ class LoggerService:
     def __init__(self, tso: TimestampOracle, broker: LogBroker,
                  store: ObjectStore, allocator: SegmentAllocator,
                  num_shards: int, logger_names: tuple[str, ...] = ("logger-0",),
-                 lsm_memtable_limit: int = 1024) -> None:
+                 lsm_memtable_limit: int = 1024,
+                 tracer: Optional[TraceCollector] = None) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         self._tso = tso
         self._broker = broker
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._store = store
         self._allocator = allocator
         self.num_shards = num_shards
@@ -136,7 +149,8 @@ class LoggerService:
         """Register a logger and place it on the ring."""
         if name in self._loggers:
             raise ClusterStateError(f"logger {name!r} already exists")
-        logger = Logger(name, self._tso, self._broker)
+        logger = Logger(name, self._tso, self._broker,
+                        tracer=self._tracer)
         self._loggers[name] = logger
         self._ring.add_node(name)
         return logger

@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import struct
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional
 
 import numpy as np
 
@@ -27,6 +27,11 @@ class WalRecord:
     """Base class: every record has the issuing LSN (packed timestamp)."""
 
     ts: int
+
+    trace: Optional[tuple] = None
+    """Wire-form :class:`repro.tracing.TraceContext` of the publishing
+    span, stamped by the broker (None = untraced).  Records are frozen, so
+    stamping uses ``dataclasses.replace``."""
 
     @property
     def kind(self) -> str:
@@ -134,6 +139,8 @@ def record_to_bytes(record: WalRecord) -> bytes:
                                 if not isinstance(record, CoordRecord)
                                 else "CoordRecord",
                                 "ts": record.ts}
+    if record.trace is not None:
+        envelope["trace"] = list(record.trace)
     blobs: list[bytes] = []
     if isinstance(record, InsertRecord):
         header, blobs = _encode_columns(record.columns)
@@ -179,24 +186,31 @@ def record_from_bytes(raw: bytes) -> WalRecord:
 
     rtype = envelope.pop("type")
     ts = envelope.pop("ts")
+    trace = envelope.pop("trace", None)
+    if trace is not None:
+        trace = tuple(trace)
     if rtype == "InsertRecord":
         columns = _decode_columns(envelope.pop("columns"), blobs)
-        return InsertRecord(ts=ts, collection=envelope["collection"],
+        return InsertRecord(ts=ts, trace=trace,
+                            collection=envelope["collection"],
                             shard=envelope["shard"],
                             segment_id=envelope["segment_id"],
                             pks=tuple(envelope["pks"]), columns=columns)
     if rtype == "DeleteRecord":
-        return DeleteRecord(ts=ts, collection=envelope["collection"],
+        return DeleteRecord(ts=ts, trace=trace,
+                            collection=envelope["collection"],
                             shard=envelope["shard"],
                             pks=tuple(envelope["pks"]))
     if rtype == "TimeTickRecord":
-        return TimeTickRecord(ts=ts, source=envelope["source"])
+        return TimeTickRecord(ts=ts, trace=trace,
+                              source=envelope["source"])
     if rtype == "DdlRecord":
-        return DdlRecord(ts=ts, op=envelope["op"],
+        return DdlRecord(ts=ts, trace=trace, op=envelope["op"],
                          collection=envelope["collection"],
                          payload=envelope["payload"])
     if rtype == "CoordRecord":
-        return CoordRecord(ts=ts, kind_name=envelope["kind_name"],
+        return CoordRecord(ts=ts, trace=trace,
+                           kind_name=envelope["kind_name"],
                            payload=envelope["payload"])
     raise ValueError(f"unknown record type {rtype!r}")
 

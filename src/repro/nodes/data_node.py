@@ -35,6 +35,7 @@ from repro.log.wal import (
 from repro.sim.costmodel import CostModel
 from repro.sim.events import EventLoop
 from repro.storage.object_store import ObjectStore
+from repro.tracing import NOOP_TRACER, TraceCollector, TraceContext
 
 
 class DataNode:
@@ -43,7 +44,8 @@ class DataNode:
     def __init__(self, name: str, loop: EventLoop, broker: LogBroker,
                  store: ObjectStore, config: ManuConfig,
                  cost_model: CostModel,
-                 schema_provider) -> None:
+                 schema_provider,
+                 tracer: Optional[TraceCollector] = None) -> None:
         self.name = name
         self._loop = loop
         self._broker = broker
@@ -51,6 +53,8 @@ class DataNode:
         self._config = config
         self._cost = cost_model
         self._schema_provider = schema_provider  # (collection) -> schema
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._component = f"data-node:{name}"
         self._writer = BinlogWriter(store)
         self._subs: dict[str, Subscription] = {}
         # (collection, segment_id) -> growing Segment
@@ -59,8 +63,10 @@ class DataNode:
         self._channel_offsets: dict[str, int] = {}
         self._delta_buffer: dict[tuple[str, int], list] = {}
         # Seal decisions that arrived before (or while) the segment's rows
-        # were still in flight on the shard channel: (coll, seg) -> shard.
-        self._pending_seals: dict[tuple[str, str], int] = {}
+        # were still in flight on the shard channel:
+        # (coll, seg) -> (shard, wire trace context of the seal delivery).
+        self._pending_seals: dict[tuple[str, str],
+                                  tuple[int, Optional[tuple]]] = {}
         self.segments_flushed = 0
         self._coord_sub: Subscription | None = None
 
@@ -139,12 +145,12 @@ class DataNode:
         # Rotation signal: the shard channel is FIFO, so rows for any
         # *other* pending-seal segment of this shard are fully delivered
         # once a newer segment's rows arrive — flush them now.
-        for (coll, sid), shard in list(self._pending_seals.items()):
+        for (coll, sid), (shard, wire) in list(self._pending_seals.items()):
             if coll == record.collection and shard == record.shard \
                     and sid != record.segment_id \
                     and self.has_segment(coll, sid):
                 del self._pending_seals[(coll, sid)]
-                self.seal_and_flush(coll, sid, shard)
+                self.seal_and_flush(coll, sid, shard, trace_parent=wire)
 
     def _apply_delete(self, record: DeleteRecord) -> None:
         remaining = set(record.pks)
@@ -197,7 +203,9 @@ class DataNode:
         if channel not in self._subs:
             return  # another data node archives this shard
         key = (collection, segment_id)
-        self._pending_seals[key] = shard
+        # Capture the seal delivery's context now: the flush runs from a
+        # deferred callback where no span is ambient anymore.
+        self._pending_seals[key] = (shard, self._tracer.current_wire())
         self._loop.call_after(
             self.SEAL_SETTLE_MS,
             lambda: self._retry_seal(collection, segment_id, shard,
@@ -209,19 +217,30 @@ class DataNode:
         key = (collection, segment_id)
         if key not in self._pending_seals:
             return  # already flushed via the rotation signal
+        _shard, wire = self._pending_seals[key]
+        # Scheduled retry: the captured wire context is the only causal
+        # parent; never adopt whatever frame is stepping the clock.
+        with self._tracer.detached():
+            self._settle_seal(collection, segment_id, shard, retries, wire)
+
+    def _settle_seal(self, collection: str, segment_id: str, shard: int,
+                     retries: int, wire: Optional[tuple]) -> None:
+        key = (collection, segment_id)
         segment = self._growing.get(key)
         quiet = (segment is not None
                  and self._loop.now() - segment.last_insert_at_ms
                  >= self.SEAL_SETTLE_MS * 0.5)
         if quiet:
             del self._pending_seals[key]
-            self.seal_and_flush(collection, segment_id, shard)
+            self.seal_and_flush(collection, segment_id, shard,
+                                trace_parent=wire)
             return
         if retries >= 200:
             # The rows never arrived (lost upstream); flush what exists.
             del self._pending_seals[key]
             if segment is not None:
-                self.seal_and_flush(collection, segment_id, shard)
+                self.seal_and_flush(collection, segment_id, shard,
+                                    trace_parent=wire)
             return
         self._loop.call_after(
             self.SEAL_SETTLE_MS,
@@ -230,16 +249,23 @@ class DataNode:
             name=f"seal-retry:{segment_id}")
 
     def seal_and_flush(self, collection: str, segment_id: str,
-                       shard: int) -> Optional[str]:
+                       shard: int,
+                       trace_parent: Optional[tuple] = None,
+                       ) -> Optional[str]:
         """Convert a growing segment to a binlog; returns the segment id.
 
         The ``segment_flushed`` announcement is published after the virtual
         write duration, so downstream indexing starts at the correct time.
+        The flush span covers the whole window up to the announcement;
+        ``trace_parent`` carries the wire context of the seal decision
+        across the parked-seal deferral.
         """
         key = (collection, segment_id)
         segment = self._growing.pop(key, None)
         if segment is None or segment.num_rows == 0:
             return None
+        parent = TraceContext.from_wire(trace_parent) \
+            if trace_parent is not None else self._tracer.current()
         segment.seal()
         pks, columns, max_lsn = segment.flush_payload()
         # Drop rows deleted while growing so the binlog holds live data.
@@ -258,18 +284,24 @@ class DataNode:
             sum(_nbytes(v) for v in columns.values()))
         channel_offset = self._channel_offsets.get(
             shard_channel(collection, shard), 0)
+        flush_span = self._tracer.start_span(
+            "data_node.flush", self._component, parent=parent,
+            collection=collection, segment=segment_id, rows=len(pks))
 
         def announce() -> None:
-            self._broker.publish(self._config.log.coord_channel, CoordRecord(
-                ts=max_lsn, kind_name="segment_flushed", payload={
-                    "collection": collection,
-                    "segment_id": segment_id,
-                    "shard": shard,
-                    "num_rows": manifest.num_rows,
-                    "max_lsn": max_lsn,
-                    "channel_offset": channel_offset,
-                    "data_node": self.name,
-                }))
+            with self._tracer.activate(flush_span):
+                self._broker.publish(
+                    self._config.log.coord_channel, CoordRecord(
+                        ts=max_lsn, kind_name="segment_flushed", payload={
+                            "collection": collection,
+                            "segment_id": segment_id,
+                            "shard": shard,
+                            "num_rows": manifest.num_rows,
+                            "max_lsn": max_lsn,
+                            "channel_offset": channel_offset,
+                            "data_node": self.name,
+                        }))
+            self._tracer.finish_span(flush_span)
 
         self._loop.call_after(write_ms, announce,
                               name=f"flush:{segment_id}")

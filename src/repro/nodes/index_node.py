@@ -32,6 +32,7 @@ from repro.log.wal import CoordRecord
 from repro.sim.costmodel import CostModel
 from repro.sim.events import EventLoop
 from repro.storage.object_store import ObjectStore
+from repro.tracing import NOOP_TRACER, TraceCollector
 
 
 def index_blob_key(collection: str, segment_id: str, field: str) -> str:
@@ -61,13 +62,16 @@ class IndexNode:
 
     def __init__(self, name: str, loop: EventLoop, broker: LogBroker,
                  store: ObjectStore, config: ManuConfig,
-                 cost_model: CostModel) -> None:
+                 cost_model: CostModel,
+                 tracer: Optional[TraceCollector] = None) -> None:
         self.name = name
         self._loop = loop
         self._broker = broker
         self._store = store
         self._config = config
         self._cost = cost_model
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._component = f"index-node:{name}"
         self._reader = BinlogReader(store)
         self.busy_until_ms = 0.0
         self.builds_completed = 0
@@ -102,20 +106,30 @@ class IndexNode:
                                      params)
         done_ms = start_ms + read_ms + build_ms
         self.busy_until_ms = done_ms
+        # Parent = the ambient span at submission (typically the index
+        # coordinator's delivery of ``segment_flushed``); the build span
+        # covers the virtual [start, done] window, not submission time.
+        build_span = self._tracer.start_span(
+            "index_node.build", self._component, start_ms=start_ms,
+            collection=collection, segment=segment_id, field=field,
+            index_type=index.index_type)
 
         def announce() -> None:
             if not self.alive:
                 return
-            self._broker.publish(self._config.log.coord_channel, CoordRecord(
-                ts=0, kind_name="index_built", payload={
-                    "collection": collection,
-                    "segment_id": segment_id,
-                    "field": field,
-                    "index_type": index.index_type,
-                    "num_rows": manifest.num_rows,
-                    "path": key,
-                    "index_node": self.name,
-                }))
+            with self._tracer.activate(build_span):
+                self._broker.publish(
+                    self._config.log.coord_channel, CoordRecord(
+                        ts=0, kind_name="index_built", payload={
+                            "collection": collection,
+                            "segment_id": segment_id,
+                            "field": field,
+                            "index_type": index.index_type,
+                            "num_rows": manifest.num_rows,
+                            "path": key,
+                            "index_node": self.name,
+                        }))
+            self._tracer.finish_span(build_span, end_ms=done_ms)
 
         self._loop.call_at(done_ms, announce,
                            name=f"index-done:{segment_id}/{field}")
@@ -130,4 +144,5 @@ class IndexNode:
 
     def shutdown(self) -> None:
         """Stop accepting/announcing work (idle-node cost saving)."""
+        self._tracer.mark_incomplete(self._component)
         self.alive = False

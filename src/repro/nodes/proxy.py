@@ -35,6 +35,12 @@ from repro.log.logger_node import LoggerService
 from repro.monitoring.metrics import MetricsRegistry
 from repro.sim.costmodel import CostModel
 from repro.sim.events import EventLoop
+from repro.tracing import (
+    NOOP_TRACER,
+    SPAN_ERROR,
+    SPAN_INCOMPLETE,
+    TraceCollector,
+)
 
 
 class PendingSearch:
@@ -56,7 +62,8 @@ class Proxy:
     def __init__(self, name: str, loop: EventLoop, tso: TimestampOracle,
                  config: ManuConfig, cost_model: CostModel,
                  logger_service: LoggerService, root_coord, query_coord,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[TraceCollector] = None) -> None:
         self.name = name
         self._loop = loop
         self._tso = tso
@@ -66,6 +73,8 @@ class Proxy:
         self._root = root_coord
         self._query_coord = query_coord
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._component = f"proxy:{name}"
         # Metric handles are live objects; resolve them once instead of
         # rebuilding f-string names on every request.
         self._inserts_counter = self.metrics.counter(
@@ -77,6 +86,10 @@ class Proxy:
         self._batched_counter = self.metrics.counter(
             f"proxy.{name}.batched_searches")
         self._search_latency = self.metrics.latency("proxy.search_latency")
+        self._multivector_latency = self.metrics.latency(
+            "proxy.multivector_latency")
+        self._range_latency = self.metrics.latency(
+            "proxy.range_search_latency")
         self._session_ts = 0
         # Request batching (Section 3.6): same-typed searches accumulated
         # within the configured window, executed as one batch.
@@ -103,8 +116,10 @@ class Proxy:
         """Validate and publish an insert; returns the assigned pks."""
         schema = self._schema(collection)
         batch = validate_batch(schema, data)
-        ts = self._loggers.insert(collection, batch)
-        self._session_ts = max(self._session_ts, ts)
+        with self._tracer.span("proxy.insert", self._component,
+                               collection=collection, rows=batch.num_rows):
+            lsn = self._loggers.insert(collection, batch)
+        self._session_ts = max(self._session_ts, lsn)
         self._inserts_counter.inc(batch.num_rows)
         return batch.pks
 
@@ -117,8 +132,10 @@ class Proxy:
         schema = self._schema(collection)
         pks = _extract_pks(FilterExpression(expr),
                            schema.primary_field.name)
-        ts, deleted = self._loggers.delete(collection, tuple(pks))
-        self._session_ts = max(self._session_ts, ts)
+        with self._tracer.span("proxy.delete", self._component,
+                               collection=collection, keys=len(pks)):
+            lsn, deleted = self._loggers.delete(collection, tuple(pks))
+        self._session_ts = max(self._session_ts, lsn)
         self._deletes_counter.inc(deleted)
         return deleted
 
@@ -150,45 +167,76 @@ class Proxy:
         guarantee = guarantee_ts(consistency, issue_ts, staleness_ms,
                                  self._session_ts)
 
-        plan = self._query_coord.search_plan(collection)
-        if not plan:
-            raise ManuError(
-                f"collection {collection!r} is not loaded on any query node")
-        nodes = [node for node, _scope in plan]
+        # The root span covers [issue, done]; it is finished with the
+        # *computed* done time, so it is opened by hand rather than with
+        # the context-manager helper (which would stamp the clock's value
+        # at block exit).  The try/finally still closes it as an error
+        # span if anything below raises (e.g. a consistency timeout).
+        root = self._tracer.start_span(
+            "proxy.search", self._component, start_ms=issue_ms,
+            collection=collection, k=k, nq=int(queries.shape[0]))
+        try:
+            with self._tracer.activate(root):
+                plan = self._query_coord.search_plan(collection)
+                if not plan:
+                    raise ManuError(
+                        f"collection {collection!r} is not loaded on any "
+                        f"query node")
+                nodes = [node for node, _scope in plan]
 
-        wait_ms = self._wait_for_consistency(collection, nodes, guarantee)
-        ready_ms = self._loop.now()
+                wait_ms = self._wait_for_consistency(collection, nodes,
+                                                     guarantee)
+                ready_ms = self._loop.now()
 
-        per_query_partials = [[] for _ in range(queries.shape[0])]
-        finish_times = []
-        segments_total = 0
-        for node, scope in plan:
-            start = max(ready_ms + self._cost.rpc_hop(), node.busy_until_ms)
-            hits, service_ms, searched = node.search(
-                collection, field, queries, k, metric, filter_expr,
-                scope=scope)
-            node.busy_until_ms = start + service_ms
-            finish_times.append(node.busy_until_ms)
-            segments_total += searched
-            for qi, node_hits in enumerate(hits):
-                per_query_partials[qi].append(node_hits)
+                per_query_partials = [[] for _ in range(queries.shape[0])]
+                finish_times = []
+                segments_total = 0
+                for node, scope in plan:
+                    start = max(ready_ms + self._cost.rpc_hop(),
+                                node.busy_until_ms)
+                    nspan = self._tracer.start_span(
+                        "query_node.scan", f"query-node:{node.name}",
+                        parent=root.context, start_ms=ready_ms)
+                    hits, service_ms, searched = node.search(
+                        collection, field, queries, k, metric, filter_expr,
+                        scope=scope, trace_span=nspan)
+                    node.busy_until_ms = start + service_ms
+                    nspan.tags.update(queue_ms=start - ready_ms,
+                                      service_ms=service_ms,
+                                      segments=searched)
+                    self._tracer.finish_span(nspan,
+                                             end_ms=node.busy_until_ms)
+                    finish_times.append(node.busy_until_ms)
+                    segments_total += searched
+                    for qi, node_hits in enumerate(hits):
+                        per_query_partials[qi].append(node_hits)
 
-        merge_ms = self._cost.topk_merge_cost(len(nodes), k)
-        done_ms = max(finish_times) + merge_ms + self._cost.rpc_hop()
-        latency = done_ms - issue_ms
+                merge_ms = self._cost.topk_merge_cost(len(nodes), k)
+                done_ms = max(finish_times) + merge_ms \
+                    + self._cost.rpc_hop()
+                latency = done_ms - issue_ms
+                self._tracer.record_span(
+                    "proxy.merge", self._component, parent=root.context,
+                    start_ms=max(finish_times), end_ms=done_ms,
+                    nodes=len(nodes))
+                self._tracer.finish_span(root, end_ms=done_ms)
 
-        results = []
-        for parts in per_query_partials:
-            # Partials stay array-native through the global merge; hits
-            # only become SearchHit objects at the SearchResult boundary.
-            hits = merge_topk(parts, k)
-            results.append(SearchResult(
-                hits=hits.to_hits(), metric=metric, latency_ms=latency,
-                consistency_wait_ms=wait_ms,
-                segments_searched=segments_total))
-        self._search_latency.record(self._loop.now(), latency)
-        self._searches_counter.inc(queries.shape[0])
-        return results
+                results = []
+                for parts in per_query_partials:
+                    # Partials stay array-native through the global merge;
+                    # hits only become SearchHit objects at the
+                    # SearchResult boundary.
+                    hits = merge_topk(parts, k)
+                    results.append(SearchResult(
+                        hits=hits.to_hits(), metric=metric,
+                        latency_ms=latency, consistency_wait_ms=wait_ms,
+                        segments_searched=segments_total))
+                self._search_latency.record(self._loop.now(), latency)
+                self._searches_counter.inc(queries.shape[0])
+                return results
+        finally:
+            if root.end_ms is None:
+                self._tracer.finish_span(root, status=SPAN_ERROR)
 
     def search_multivector(self, collection: str, query: MultiVectorQuery,
                            k: int,
@@ -201,32 +249,55 @@ class Proxy:
         issue_ts = self._tso.allocate_packed()
         guarantee = guarantee_ts(consistency, issue_ts, staleness_ms,
                                  self._session_ts)
-        plan = self._query_coord.search_plan(collection)
-        if not plan:
-            raise ManuError(
-                f"collection {collection!r} is not loaded on any query node")
-        nodes = [node for node, _scope in plan]
-        wait_ms = self._wait_for_consistency(collection, nodes, guarantee)
-        ready_ms = self._loop.now()
+        root = self._tracer.start_span(
+            "proxy.search_multivector", self._component, start_ms=issue_ms,
+            collection=collection, k=k, fields=len(query.fields))
+        try:
+            with self._tracer.activate(root):
+                plan = self._query_coord.search_plan(collection)
+                if not plan:
+                    raise ManuError(
+                        f"collection {collection!r} is not loaded on any "
+                        f"query node")
+                nodes = [node for node, _scope in plan]
+                wait_ms = self._wait_for_consistency(collection, nodes,
+                                                     guarantee)
+                ready_ms = self._loop.now()
 
-        partials = []
-        finish_times = []
-        segments_total = 0
-        for node, scope in plan:
-            start = max(ready_ms + self._cost.rpc_hop(), node.busy_until_ms)
-            hits, service_ms, searched = node.search_multivector(
-                collection, query, k, scope=scope)
-            node.busy_until_ms = start + service_ms
-            finish_times.append(node.busy_until_ms)
-            segments_total += searched
-            partials.append(hits)
-        merge_ms = self._cost.topk_merge_cost(len(nodes), k)
-        done_ms = max(finish_times) + merge_ms + self._cost.rpc_hop()
-        return SearchResult(hits=merge_topk(partials, k).to_hits(),
-                            metric=query.metric,
-                            latency_ms=done_ms - issue_ms,
-                            consistency_wait_ms=wait_ms,
-                            segments_searched=segments_total)
+                partials = []
+                finish_times = []
+                segments_total = 0
+                for node, scope in plan:
+                    start = max(ready_ms + self._cost.rpc_hop(),
+                                node.busy_until_ms)
+                    hits, service_ms, searched = node.search_multivector(
+                        collection, query, k, scope=scope)
+                    node.busy_until_ms = start + service_ms
+                    self._tracer.record_span(
+                        "query_node.scan", f"query-node:{node.name}",
+                        parent=root.context, start_ms=ready_ms,
+                        end_ms=node.busy_until_ms, segments=searched)
+                    finish_times.append(node.busy_until_ms)
+                    segments_total += searched
+                    partials.append(hits)
+                merge_ms = self._cost.topk_merge_cost(len(nodes), k)
+                done_ms = max(finish_times) + merge_ms \
+                    + self._cost.rpc_hop()
+                latency = done_ms - issue_ms
+                self._tracer.record_span(
+                    "proxy.merge", self._component, parent=root.context,
+                    start_ms=max(finish_times), end_ms=done_ms,
+                    nodes=len(nodes))
+                self._tracer.finish_span(root, end_ms=done_ms)
+                self._multivector_latency.record(self._loop.now(), latency)
+                return SearchResult(hits=merge_topk(partials, k).to_hits(),
+                                    metric=query.metric,
+                                    latency_ms=latency,
+                                    consistency_wait_ms=wait_ms,
+                                    segments_searched=segments_total)
+        finally:
+            if root.end_ms is None:
+                self._tracer.finish_span(root, status=SPAN_ERROR)
 
     # ------------------------------------------------------------------
     # point reads, upsert, range search
@@ -252,10 +323,12 @@ class Proxy:
             raise ManuError(
                 "upsert requires an explicit primary key schema")
         batch = validate_batch(schema, data)
-        ts, _deleted = self._loggers.delete(collection, batch.pks)
-        self._session_ts = max(self._session_ts, ts)
-        ts = self._loggers.insert(collection, batch)
-        self._session_ts = max(self._session_ts, ts)
+        with self._tracer.span("proxy.upsert", self._component,
+                               collection=collection, rows=batch.num_rows):
+            lsn, _deleted = self._loggers.delete(collection, batch.pks)
+            self._session_ts = max(self._session_ts, lsn)
+            lsn = self._loggers.insert(collection, batch)
+            self._session_ts = max(self._session_ts, lsn)
         return batch.pks
 
     def range_search(self, collection: str, query: np.ndarray,
@@ -289,34 +362,56 @@ class Proxy:
         issue_ts = self._tso.allocate_packed()
         guarantee = guarantee_ts(consistency, issue_ts, staleness_ms,
                                  self._session_ts)
-        plan = self._query_coord.search_plan(collection)
-        if not plan:
-            raise ManuError(
-                f"collection {collection!r} is not loaded on any query node")
-        wait_ms = self._wait_for_consistency(
-            collection, [n for n, _s in plan], guarantee)
-        ready_ms = self._loop.now()
+        root = self._tracer.start_span(
+            "proxy.range_search", self._component, start_ms=issue_ms,
+            collection=collection, radius=float(radius))
+        try:
+            with self._tracer.activate(root):
+                plan = self._query_coord.search_plan(collection)
+                if not plan:
+                    raise ManuError(
+                        f"collection {collection!r} is not loaded on any "
+                        f"query node")
+                wait_ms = self._wait_for_consistency(
+                    collection, [n for n, _s in plan], guarantee)
+                ready_ms = self._loop.now()
 
-        partials: list[HitBatch] = []
-        finish_times = []
-        for node, scope in plan:
-            start = max(ready_ms + self._cost.rpc_hop(), node.busy_until_ms)
-            batch, service_ms = node.range_search(
-                collection, field, query, threshold, metric,
-                expr=filter_expr, scope=scope)
-            node.busy_until_ms = start + service_ms
-            finish_times.append(node.busy_until_ms)
-            partials.append(batch)
-        # merge_topk dedups replica copies (best hit per pk); with no limit
-        # the "k" is the total candidate count, i.e. keep everything.
-        k_eff = limit if limit is not None \
-            else sum(len(b) for b in partials)
-        ordered = merge_topk(partials, k_eff).to_hits()
-        done_ms = max(finish_times) + self._cost.rpc_hop()
-        return SearchResult(hits=ordered, metric=metric,
-                            latency_ms=done_ms - issue_ms,
-                            consistency_wait_ms=wait_ms,
-                            segments_searched=len(plan))
+                partials: list[HitBatch] = []
+                finish_times = []
+                for node, scope in plan:
+                    start = max(ready_ms + self._cost.rpc_hop(),
+                                node.busy_until_ms)
+                    batch, service_ms = node.range_search(
+                        collection, field, query, threshold, metric,
+                        expr=filter_expr, scope=scope)
+                    node.busy_until_ms = start + service_ms
+                    self._tracer.record_span(
+                        "query_node.scan", f"query-node:{node.name}",
+                        parent=root.context, start_ms=ready_ms,
+                        end_ms=node.busy_until_ms, hits=len(batch))
+                    finish_times.append(node.busy_until_ms)
+                    partials.append(batch)
+                # merge_topk dedups replica copies (best hit per pk); with
+                # no limit the "k" is the total candidate count, i.e. keep
+                # everything.
+                k_eff = limit if limit is not None \
+                    else sum(len(b) for b in partials)
+                ordered = merge_topk(partials, k_eff).to_hits()
+                done_ms = max(finish_times) + self._cost.rpc_hop()
+                latency = done_ms - issue_ms
+                self._tracer.record_span(
+                    "proxy.merge", self._component, parent=root.context,
+                    start_ms=max(finish_times), end_ms=done_ms,
+                    nodes=len(plan))
+                self._tracer.finish_span(root, end_ms=done_ms)
+                self._range_latency.record(self._loop.now(), latency)
+                return SearchResult(hits=ordered, metric=metric,
+                                    latency_ms=latency,
+                                    consistency_wait_ms=wait_ms,
+                                    segments_searched=len(plan))
+        finally:
+            if root.end_ms is None:
+                self._tracer.finish_span(root, status=SPAN_ERROR)
 
     # ------------------------------------------------------------------
     # request batching (Section 3.6)
@@ -363,10 +458,13 @@ class Proxy:
         (collection, field, metric, expr, consistency, staleness_ms,
          k) = key
         queries = np.concatenate([q for q, _h in batch], axis=0)
-        results = self.search(collection, queries, k, field=field,
-                              metric=metric, expr=expr,
-                              consistency=consistency,
-                              staleness_ms=staleness_ms)
+        # The window timer fires inside whatever frame steps the clock;
+        # detach so the batched search roots its own trace.
+        with self._tracer.detached():
+            results = self.search(collection, queries, k, field=field,
+                                  metric=metric, expr=expr,
+                                  consistency=consistency,
+                                  staleness_ms=staleness_ms)
         for (_q, handle), result in zip(batch, results):
             handle.result = result
         self.batches_flushed += 1
@@ -389,17 +487,38 @@ class Proxy:
         """
         start_ms = self._loop.now()
         deadline = start_ms + self._config.query.consistency_deadline_ms
-        while True:
-            pending = [n for n in nodes if not n.ready(collection, guarantee)]
-            if not pending:
-                return self._loop.now() - start_ms
-            nxt = self._loop.peek_time()
-            if nxt is None or nxt > deadline:
-                raise ConsistencyTimeout(
-                    f"nodes {[n.name for n in pending]} did not reach "
-                    f"guarantee ts within "
-                    f"{self._config.query.consistency_deadline_ms}ms")
-            self._loop.step()
+        with self._tracer.span("proxy.consistency_wait", self._component,
+                               guarantee=guarantee) as wspan:
+            # One wait_ready span per node that is behind the guarantee,
+            # closed as its watermark catches up.  On timeout the spans
+            # still open are flagged incomplete (a node killed mid-wait is
+            # closed by its own fail() first; finish_span is idempotent).
+            waiting: dict[str, object] = {}
+            while True:
+                pending = [n for n in nodes
+                           if not n.ready(collection, guarantee)]
+                for node in pending:
+                    if node.name not in waiting:
+                        waiting[node.name] = self._tracer.start_span(
+                            "query_node.wait_ready",
+                            f"query-node:{node.name}",
+                            parent=wspan.context, guarantee=guarantee)
+                pending_names = {n.name for n in pending}
+                for name in list(waiting):
+                    if name not in pending_names:
+                        self._tracer.finish_span(waiting.pop(name))
+                if not pending:
+                    return self._loop.now() - start_ms
+                nxt = self._loop.peek_time()
+                if nxt is None or nxt > deadline:
+                    for span in waiting.values():
+                        self._tracer.finish_span(span,
+                                                 status=SPAN_INCOMPLETE)
+                    raise ConsistencyTimeout(
+                        f"nodes {[n.name for n in pending]} did not reach "
+                        f"guarantee ts within "
+                        f"{self._config.query.consistency_deadline_ms}ms")
+                self._loop.step()
 
 
 def _extract_pks(expr: FilterExpression, pk_field: str) -> list:

@@ -46,6 +46,7 @@ from repro.log.wal import (
 from repro.sim.costmodel import CostModel
 from repro.sim.events import EventLoop
 from repro.storage.object_store import ObjectStore
+from repro.tracing import NOOP_TRACER, Span, TraceCollector
 
 
 class QueryNode:
@@ -53,7 +54,8 @@ class QueryNode:
 
     def __init__(self, name: str, loop: EventLoop, broker: LogBroker,
                  store: ObjectStore, config: ManuConfig,
-                 cost_model: CostModel, schema_provider) -> None:
+                 cost_model: CostModel, schema_provider,
+                 tracer: Optional[TraceCollector] = None) -> None:
         self.name = name
         self._loop = loop
         self._broker = broker
@@ -61,6 +63,8 @@ class QueryNode:
         self._config = config
         self._cost = cost_model
         self._schema_provider = schema_provider
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._component = f"query-node:{name}"
         self._reader = BinlogReader(store)
 
         self._subs: dict[str, Subscription] = {}
@@ -180,6 +184,12 @@ class QueryNode:
         key = (collection, segment_id)
         if key in self._segments and key not in self._growing_ids:
             return 0.0
+        with self._tracer.span("query_node.load_segment", self._component,
+                               collection=collection, segment=segment_id):
+            return self._load_segment(collection, segment_id)
+
+    def _load_segment(self, collection: str, segment_id: str) -> float:
+        key = (collection, segment_id)
         manifest = self._reader.read_manifest(collection, segment_id)
         columns = self._reader.read_fields(collection, segment_id,
                                            manifest.fields)
@@ -226,9 +236,12 @@ class QueryNode:
         if segment is None:
             raise ClusterStateError(
                 f"{self.name} does not hold segment {segment_id}")
-        raw = self._store.get(path)
-        index = index_from_bytes(raw)
-        segment.attach_index(field, index)
+        with self._tracer.span("query_node.attach_index", self._component,
+                               collection=collection, segment=segment_id,
+                               field=field):
+            raw = self._store.get(path)
+            index = index_from_bytes(raw)
+            segment.attach_index(field, index)
         return self._cost.object_read(len(raw))
 
     def segments_of(self, collection: str) -> list[str]:
@@ -298,6 +311,7 @@ class QueryNode:
                expr: Optional[FilterExpression] = None,
                forced_strategy: Optional[FilterStrategy] = None,
                scope: Optional[set[str]] = None,
+               trace_span: Optional[Span] = None,
                ) -> tuple[list[HitBatch], float, int]:
         """Node-local two-phase reduce.
 
@@ -306,25 +320,57 @@ class QueryNode:
         searched).  Batches stay array-native end to end: segment scans
         hand back (pks, dists) ndarrays that are merged by concatenation
         and one stable sort per query — no per-hit objects.
+
+        ``trace_span`` is the proxy's per-node scan span; when sampled,
+        each segment scan is recorded as a child with its own cost-model
+        window, laid end to end from the span's start (segments scan
+        sequentially within one node).
         """
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
+        nq = queries.shape[0]
+        traced = trace_span is not None and trace_span.sampled
+        dim = self._probe_dim()
+        cursor_ms = trace_span.start_ms if traced else 0.0
         stats = SearchStats()
         per_query_partials: list[list[HitBatch]] = [
-            [] for _ in range(queries.shape[0])]
+            [] for _ in range(nq)]
         searched = 0
         for segment in self._scoped_segments(collection, scope):
+            f0, q0, b0 = (stats.float_comparisons,
+                          stats.quantized_comparisons,
+                          stats.ssd_blocks_read)
             results, _plan = filtered_search(segment, field, queries, k,
                                              metric, expr, stats=stats,
                                              forced=forced_strategy)
             searched += 1
+            if traced:
+                seg_ms = (self._cost.distance_cost(
+                              stats.float_comparisons - f0, dim)
+                          + self._cost.distance_cost(
+                              stats.quantized_comparisons - q0, dim,
+                              quantized=True)
+                          + self._cost.ssd_read(
+                              stats.ssd_blocks_read - b0))
+                self._tracer.record_span(
+                    "segment.scan", self._component,
+                    parent=trace_span.context, start_ms=cursor_ms,
+                    end_ms=cursor_ms + seg_ms, segment=segment.segment_id)
+                cursor_ms += seg_ms
             for qi, batch in enumerate(results):
                 if batch:
                     per_query_partials[qi].append(batch)
         merged = [merge_topk(parts, k) for parts in per_query_partials]
-        service_ms = self.service_time_ms(stats, queries.shape[0])
-        self.searches_served += queries.shape[0]
+        service_ms = self.service_time_ms(stats, nq)
+        if traced:
+            reduce_ms = (self._cost.request_overhead_ms
+                         + nq * self._cost.batch_row_overhead_ms)
+            self._tracer.record_span(
+                "query_node.reduce", self._component,
+                parent=trace_span.context, start_ms=cursor_ms,
+                end_ms=cursor_ms + reduce_ms, segments=searched)
+        self.searches_served += nq
         return merged, service_ms, searched
 
     def search_multivector(self, collection: str, query: MultiVectorQuery,
@@ -394,6 +440,7 @@ class QueryNode:
 
     def fail(self) -> None:
         """Simulate a crash: stop consuming and drop all state."""
+        self._tracer.mark_incomplete(self._component)
         self.alive = False
         for channel in list(self._subs):
             self.unsubscribe(channel)

@@ -1,0 +1,27 @@
+"""Causal, virtual-time distributed tracing over the log backbone.
+
+Spans measure virtual-clock intervals at each component a request touches;
+:class:`TraceContext` rides as metadata on WAL records so causality
+survives the broker's asynchronous publish/deliver seam (DESIGN.md §6c).
+"""
+
+from repro.tracing.collector import (
+    COMPONENT_MODULES,
+    NOOP_TRACER,
+    TraceCollector,
+    component_module,
+)
+from repro.tracing.context import TraceContext
+from repro.tracing.span import SPAN_ERROR, SPAN_INCOMPLETE, SPAN_OK, Span
+
+__all__ = [
+    "COMPONENT_MODULES",
+    "NOOP_TRACER",
+    "SPAN_ERROR",
+    "SPAN_INCOMPLETE",
+    "SPAN_OK",
+    "Span",
+    "TraceCollector",
+    "TraceContext",
+    "component_module",
+]

@@ -1,0 +1,398 @@
+"""TraceCollector: span registry, ambient context and broker hooks.
+
+The collector is the one shared tracing object of a cluster (wired in
+:mod:`repro.cluster.manu` next to the :class:`MetricsRegistry`).  It
+
+* mints deterministic trace/span ids from counters (no wall clock, no
+  randomness — replays of the same virtual schedule produce identical
+  traces);
+* keeps an *ambient span stack* so synchronous callees inherit the
+  caller's context without explicit plumbing;
+* stamps outgoing log records with the current context (``on_publish``)
+  and opens delivery spans on the subscriber side (``deliver``), which is
+  how causality crosses the broker's asynchronous seam;
+* records the *observed* pub/sub topology — every ``(component, action,
+  channel)`` edge seen at runtime — so tests can diff it against the
+  declared topology in :mod:`repro.analysis.topology`;
+* assembles spans into per-trace trees, computes the critical-path
+  breakdown of a search (consistency wait / scan / merge), and exports
+  Chrome trace-event JSON.
+
+Head-based sampling: every ``sample_every``-th root span is sampled; the
+decision is inherited through contexts, so unsampled requests cost one
+throwaway ``Span`` object and nothing else.  Finished traces are retained
+FIFO up to ``max_traces``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro.tracing.context import TraceContext
+from repro.tracing.span import SPAN_ERROR, SPAN_INCOMPLETE, Span
+
+_MISSING = object()
+
+#: component-name prefix -> module (relative to ``src/repro``) that runs
+#: it.  Components are ``prefix`` or ``prefix:<instance>``; this is the
+#: bridge from *observed* span topology back to the *declared* pub/sub
+#: topology of ``analysis/topology.py``.
+COMPONENT_MODULES: dict[str, str] = {
+    "proxy": "nodes/proxy.py",
+    "logger": "log/logger_node.py",
+    "data-node": "nodes/data_node.py",
+    "data-node-coord": "nodes/data_node.py",
+    "query-node": "nodes/query_node.py",
+    "index-node": "nodes/index_node.py",
+    "data-coord": "coord/data.py",
+    "query-coord": "coord/query.py",
+    "index-coord": "coord/index_coord.py",
+    "root-coord": "coord/root.py",
+    "timetick": "log/timetick.py",
+    "keyword-coproc": "coproc/keyword.py",
+    "wal-archiver": "log/archive.py",
+}
+
+
+def component_module(component: str) -> Optional[str]:
+    """Module implementing a span/subscription component name."""
+    return COMPONENT_MODULES.get(component.split(":", 1)[0])
+
+
+class TraceCollector:
+    """Cluster-wide span registry over a virtual clock."""
+
+    def __init__(self, clock_ms: Optional[Callable[[], float]] = None,
+                 enabled: bool = True, sample_every: int = 1,
+                 max_traces: int = 256) -> None:
+        self._clock = clock_ms if clock_ms is not None else (lambda: 0.0)
+        self.enabled = enabled and sample_every > 0
+        self.sample_every = max(1, sample_every)
+        self.max_traces = max(1, max_traces)
+        self._trace_seq = itertools.count()
+        self._span_seq = itertools.count()
+        # trace id -> spans in creation order (dict preserves insertion
+        # order, which drives FIFO eviction).
+        self._traces: dict[str, list[Span]] = {}
+        self._open: dict[str, Span] = {}
+        self._stack: list[Span] = []
+        self._edges: set[tuple[str, str, str]] = set()
+        self.dropped_traces = 0
+        self.unsampled_roots = 0
+
+    # ------------------------------------------------------------------
+    # span lifecycle
+    # ------------------------------------------------------------------
+
+    def current(self) -> Optional[TraceContext]:
+        """Context of the innermost ambient span (None outside any)."""
+        return self._stack[-1].context if self._stack else None
+
+    def current_wire(self) -> Optional[tuple]:
+        """Wire form of :meth:`current` for deferred-callback capture."""
+        span = self._stack[-1] if self._stack else None
+        if span is None or not span.sampled:
+            return None
+        return span.context.to_wire()
+
+    def start_span(self, name: str, component: str,
+                   parent: Optional[TraceContext] = None,
+                   start_ms: Optional[float] = None, **tags) -> Span:
+        """Open a span; roots take the head-based sampling decision."""
+        if parent is None:
+            parent = self.current()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+            sampled = parent.sampled and self.enabled
+        else:
+            n = next(self._trace_seq)
+            trace_id = f"t{n:06d}"
+            parent_id = None
+            sampled = self.enabled and n % self.sample_every == 0
+            if not sampled:
+                self.unsampled_roots += 1
+        span = Span(trace_id=trace_id, span_id=f"s{next(self._span_seq):06d}",
+                    parent_id=parent_id, name=name, component=component,
+                    start_ms=self._clock() if start_ms is None
+                    else float(start_ms),
+                    sampled=sampled)
+        if tags:
+            span.tags.update(tags)
+        if sampled:
+            bucket = self._traces.get(trace_id)
+            if bucket is None:
+                bucket = self._traces[trace_id] = []
+                self._evict()
+            bucket.append(span)
+            self._open[span.span_id] = span
+        return span
+
+    def finish_span(self, span: Span, end_ms: Optional[float] = None,
+                    status: Optional[str] = None) -> None:
+        """Close a span (idempotent); clamps to a non-negative duration."""
+        if span.end_ms is not None:
+            return
+        end = self._clock() if end_ms is None else float(end_ms)
+        span.end_ms = max(end, span.start_ms)
+        if status is not None:
+            span.status = status
+        self._open.pop(span.span_id, None)
+
+    @contextmanager
+    def span(self, name: str, component: str,
+             parent: Optional[TraceContext] = None,
+             **tags) -> Iterator[Span]:
+        """Open a span for the duration of a ``with`` block.
+
+        The span becomes ambient (children started inside inherit it); an
+        exception escaping the block closes it with ``status="error"``.
+        """
+        opened = self.start_span(name, component, parent=parent, **tags)
+        self._stack.append(opened)
+        ok = False
+        try:
+            yield opened
+            ok = True
+        finally:
+            self._stack.pop()
+            if opened.end_ms is None:
+                self.finish_span(opened,
+                                 status=None if ok else SPAN_ERROR)
+
+    @contextmanager
+    def activate(self, span: Span) -> Iterator[Span]:
+        """Make an already-open span ambient without closing it on exit.
+
+        Used by deferred completions (flush/build announcements) that must
+        publish *under* a span opened earlier in virtual time.
+        """
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def detached(self) -> Iterator[None]:
+        """Run a block with no ambient context.
+
+        Scheduled events execute inside whatever frame happens to step the
+        virtual clock; work that is *not* caused by that frame's request —
+        time-tick fan-out, seal retries, batch-window flushes — detaches so
+        it is neither attributed to nor stamped with a bystander's context.
+        """
+        saved, self._stack = self._stack, []
+        try:
+            yield
+        finally:
+            self._stack = saved
+
+    def record_span(self, name: str, component: str,
+                    parent: Optional[TraceContext] = None,
+                    start_ms: float = 0.0, end_ms: float = 0.0,
+                    **tags) -> Span:
+        """Record an already-completed span with an explicit window."""
+        span = self.start_span(name, component, parent=parent,
+                               start_ms=start_ms, **tags)
+        self.finish_span(span, end_ms=end_ms)
+        return span
+
+    def mark_incomplete(self, component: str) -> list[Span]:
+        """Close every open span of a component as ``incomplete``.
+
+        Called on component failure (e.g. a killed query node) so its
+        in-flight spans stay visible but are flagged as never finishing.
+        """
+        marked = []
+        for span in list(self._open.values()):
+            if span.component == component:
+                self.finish_span(span, status=SPAN_INCOMPLETE)
+                marked.append(span)
+        return marked
+
+    # ------------------------------------------------------------------
+    # broker hooks (context across the publish/deliver seam)
+    # ------------------------------------------------------------------
+
+    def on_publish(self, channel: str, payload):
+        """Stamp an outgoing record with the ambient context.
+
+        Returns the payload to append: a ``dataclasses.replace`` copy with
+        ``trace`` set when the record supports it, is not already stamped,
+        and a sampled span is ambient; otherwise the payload unchanged.
+        Also records the observed ``publish`` edge.
+        """
+        span = self._stack[-1] if self._stack else None
+        if span is None or not span.sampled:
+            return payload
+        self._edges.add((span.component, "publish", channel))
+        if not dataclasses.is_dataclass(payload):
+            return payload
+        wire = getattr(payload, "trace", _MISSING)
+        if wire is None:  # traceable and not yet stamped
+            return dataclasses.replace(payload,
+                                       trace=span.context.to_wire())
+        return payload
+
+    @contextmanager
+    def deliver(self, subscriber: str, entry) -> Iterator[Optional[Span]]:
+        """Span around one pushed delivery, parented to the record's ctx.
+
+        Yields None (and traces nothing) for records without metadata, so
+        untraced traffic — time-ticks by default — costs nothing.  The
+        delivery always runs :meth:`detached` from the frame stepping the
+        clock: a record's causal parent is its publisher, never the
+        bystander request whose wait loop happened to drive the delivery.
+        """
+        with self.detached():
+            parent = TraceContext.from_wire(getattr(entry.payload, "trace",
+                                                    None))
+            if parent is None or not self.enabled:
+                yield None
+                return
+            self._edges.add((subscriber, "subscribe", entry.channel))
+            kind = getattr(entry.payload, "kind",
+                           type(entry.payload).__name__)
+            with self.span("log.deliver", subscriber, parent=parent,
+                           channel=entry.channel, kind=kind,
+                           offset=entry.offset) as span:
+                yield span
+
+    def observed_edges(self) -> set[tuple[str, str, str]]:
+        """Runtime ``(component, action, channel)`` edges seen so far."""
+        return set(self._edges)
+
+    # ------------------------------------------------------------------
+    # trace queries
+    # ------------------------------------------------------------------
+
+    def trace_ids(self) -> list[str]:
+        return list(self._traces)
+
+    def spans(self, trace_id: str) -> list[Span]:
+        return list(self._traces.get(trace_id, ()))
+
+    def spans_named(self, name: str) -> list[Span]:
+        """All retained spans with a given name, in creation order."""
+        return [span for spans in self._traces.values()
+                for span in spans if span.name == name]
+
+    def root(self, trace_id: str) -> Optional[Span]:
+        for span in self._traces.get(trace_id, ()):
+            if span.parent_id is None:
+                return span
+        return None
+
+    def span_tree(self, trace_id: str) -> dict[Optional[str], list[Span]]:
+        """parent span id -> children (roots under the ``None`` key)."""
+        tree: dict[Optional[str], list[Span]] = {}
+        for span in self._traces.get(trace_id, ()):
+            tree.setdefault(span.parent_id, []).append(span)
+        return tree
+
+    def trace_complete(self, trace_id: str) -> bool:
+        """Whether every span finished and none was marked incomplete."""
+        spans = self._traces.get(trace_id)
+        if not spans:
+            return False
+        return all(span.finished and span.status != SPAN_INCOMPLETE
+                   for span in spans)
+
+    # ------------------------------------------------------------------
+    # critical-path attribution
+    # ------------------------------------------------------------------
+
+    def breakdown(self, trace_id: str) -> dict[str, float]:
+        """Phase attribution of one search trace (all virtual ms).
+
+        ``consistency_wait_ms`` sums the proxy-side wait spans, ``scan_ms``
+        is the envelope of the per-node scan spans (nodes run in
+        parallel), ``merge_ms`` sums the proxy merge spans.  With the
+        span layout the proxy emits, the three cover the root span's
+        duration exactly; ``other_ms`` is whatever remains.
+        """
+        spans = self._traces.get(trace_id, ())
+        wait_ms = sum(span.duration_ms or 0.0 for span in spans
+                      if span.name == "proxy.consistency_wait")
+        merge_ms = sum(span.duration_ms or 0.0 for span in spans
+                       if span.name == "proxy.merge")
+        scans = [span for span in spans
+                 if span.name == "query_node.scan" and span.finished]
+        scan_ms = (max(span.end_ms for span in scans)
+                   - min(span.start_ms for span in scans)) if scans else 0.0
+        root = self.root(trace_id)
+        latency_ms = (root.duration_ms or 0.0) if root is not None else 0.0
+        return {
+            "consistency_wait_ms": wait_ms,
+            "scan_ms": scan_ms,
+            "merge_ms": merge_ms,
+            "latency_ms": latency_ms,
+            "other_ms": latency_ms - (wait_ms + scan_ms + merge_ms),
+        }
+
+    # ------------------------------------------------------------------
+    # Chrome trace-event export
+    # ------------------------------------------------------------------
+
+    def to_chrome_trace(self, trace_id: Optional[str] = None) -> dict:
+        """Chrome trace-event form (load in chrome://tracing / Perfetto).
+
+        One process per trace, one thread per component; complete ("X")
+        events carry microsecond ``ts``/``dur`` plus span args, and "M"
+        metadata events name the processes and threads.
+        """
+        targets = [trace_id] if trace_id is not None else self.trace_ids()
+        events: list[dict] = []
+        for pid, tid_name in enumerate(targets, start=1):
+            spans = self._traces.get(tid_name, ())
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": f"trace {tid_name}"}})
+            threads: dict[str, int] = {}
+            for span in spans:
+                tid = threads.setdefault(span.component, len(threads) + 1)
+                end = span.end_ms if span.end_ms is not None \
+                    else span.start_ms
+                args = {"span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        "status": span.status}
+                args.update(span.tags)
+                events.append({
+                    "name": span.name,
+                    "cat": span.component,
+                    "ph": "X",
+                    "ts": span.start_ms * 1000.0,
+                    "dur": (end - span.start_ms) * 1000.0,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                })
+            for component, tid in threads.items():
+                events.append({"name": "thread_name", "ph": "M",
+                               "pid": pid, "tid": tid,
+                               "args": {"name": component}})
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome_trace(self, trace_id: Optional[str] = None) -> str:
+        return json.dumps(self.to_chrome_trace(trace_id), indent=1)
+
+    # ------------------------------------------------------------------
+    # retention
+    # ------------------------------------------------------------------
+
+    def _evict(self) -> None:
+        while len(self._traces) > self.max_traces:
+            evicted_id, spans = next(iter(self._traces.items()))
+            del self._traces[evicted_id]
+            for span in spans:
+                self._open.pop(span.span_id, None)
+            self.dropped_traces += 1
+
+
+#: Shared disabled collector: components constructed without a tracer fall
+#: back to this, so the instrumentation never needs None checks.
+NOOP_TRACER = TraceCollector(enabled=False)

@@ -125,3 +125,54 @@ def test_chaos_schedule_against_model(seed, monkeypatch):
                                 consistency=ConsistencyLevel.STRONG)[0]
         assert result.pks[0] == _nearest(model, model[probe])
         assert all(pk in model for pk in result.pks)
+
+
+def test_killed_node_trace_incomplete_retry_complete():
+    """Spans of a query node killed mid-request are marked incomplete;
+    the retried request produces a fresh, complete trace."""
+    from repro.config import QueryConfig
+    from repro.errors import ConsistencyTimeout
+    from repro.tracing import SPAN_ERROR, SPAN_INCOMPLETE
+
+    rng = np.random.default_rng(7)
+    config = ManuConfig(query=QueryConfig(consistency_deadline_ms=400.0))
+    cluster = ManuCluster(config=config, num_query_nodes=2,
+                          num_index_nodes=1)
+    schema = CollectionSchema([
+        FieldSchema("vector", DataType.FLOAT_VECTOR, dim=12)])
+    cluster.create_collection("chaos", schema)
+    data = {"vector": rng.standard_normal((80, 12)).astype(np.float32)}
+    cluster.insert("chaos", data)
+    cluster.run_for(200)
+
+    victim = cluster.query_coord.node_names[0]
+    before = set(cluster.tracer.trace_ids())
+    # The kill fires 1 virtual ms into the consistency wait, while the
+    # victim still has an open wait span in the search's trace.
+    cluster.loop.call_after(1.0, lambda: cluster.fail_query_node(victim))
+    with pytest.raises(ConsistencyTimeout):
+        cluster.search("chaos", data["vector"][0], 5,
+                       consistency=ConsistencyLevel.STRONG)
+
+    new = [t for t in cluster.tracer.trace_ids() if t not in before]
+    assert len(new) == 1
+    tid = new[0]
+    root = cluster.tracer.root(tid)
+    assert root.name == "proxy.search"
+    assert root.status == SPAN_ERROR
+    incomplete = [s for s in cluster.tracer.spans(tid)
+                  if s.status == SPAN_INCOMPLETE]
+    assert incomplete
+    assert any(s.component == f"query-node:{victim}" for s in incomplete)
+    assert not cluster.tracer.trace_complete(tid)
+
+    # Recovery reassigned the victim's channels; the retry succeeds and
+    # its trace is fully finished with no incomplete spans.
+    before = set(cluster.tracer.trace_ids())
+    result = cluster.search("chaos", data["vector"][0], 5,
+                            consistency=ConsistencyLevel.STRONG)[0]
+    retry = [t for t in cluster.tracer.trace_ids() if t not in before]
+    assert len(retry) == 1
+    assert result.pks
+    assert cluster.tracer.trace_complete(retry[0])
+    assert cluster.tracer.root(retry[0]).status == "ok"

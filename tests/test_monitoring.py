@@ -1,0 +1,183 @@
+"""Direct unit tests for monitoring/metrics.py plus a smoke test of the
+Attu-style text dashboard against a live cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.manu import ManuCluster
+from repro.core.consistency import ConsistencyLevel
+from repro.core.schema import CollectionSchema, DataType, FieldSchema, \
+    MetricType
+from repro.monitoring import dashboard
+from repro.monitoring.metrics import (
+    Counter,
+    Gauge,
+    LatencyWindow,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        counter = Counter()
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+        assert counter.value == 0.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(10)
+        assert gauge.value == 10.0
+        gauge.add(-3.5)
+        assert gauge.value == 6.5
+
+
+class TestLatencyWindow:
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(window_ms=0.0)
+
+    def test_count_prunes_old_samples(self):
+        window = LatencyWindow(window_ms=100.0)
+        window.record(0.0, 5.0)
+        window.record(50.0, 7.0)
+        window.record(120.0, 9.0)
+        assert window.count(130.0) == 2   # the t=0 sample fell out
+        assert window.count(500.0) == 0
+
+    def test_qps_over_window(self):
+        window = LatencyWindow(window_ms=1_000.0)
+        for t in range(10):
+            window.record(float(t), 1.0)
+        assert window.qps(10.0) == pytest.approx(10.0)
+
+    def test_mean_and_empty(self):
+        window = LatencyWindow(window_ms=1_000.0)
+        assert window.mean(0.0) is None
+        window.record(0.0, 2.0)
+        window.record(1.0, 4.0)
+        assert window.mean(1.0) == pytest.approx(3.0)
+
+    def test_percentile_rank_math(self):
+        window = LatencyWindow(window_ms=10_000.0)
+        for i, lat in enumerate([10.0, 20.0, 30.0, 40.0, 50.0]):
+            window.record(float(i), lat)
+        assert window.percentile(5.0, 0) == 10.0
+        assert window.percentile(5.0, 50) == 30.0
+        assert window.percentile(5.0, 100) == 50.0
+        # Out-of-range percentiles clamp instead of indexing out of bounds.
+        assert window.percentile(5.0, 200) == 50.0
+        assert LatencyWindow().percentile(0.0, 99) is None
+
+
+class TestMetricsRegistry:
+    def test_namespacing_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.latency("l") is registry.latency("l")
+        assert registry.counter("a.b") is not registry.counter("a.c")
+
+    def test_snapshot_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(3)
+        registry.gauge("mem").set(42.0)
+        registry.latency("lat").record(0.0, 8.0)
+        snap = registry.snapshot(1.0)
+        assert snap["reqs.count"] == 3.0
+        assert snap["mem.value"] == 42.0
+        assert snap["lat.mean_ms"] == pytest.approx(8.0)
+        assert "lat.qps" in snap
+
+    def test_snapshot_omits_empty_window_mean(self):
+        registry = MetricsRegistry()
+        registry.latency("lat")
+        snap = registry.snapshot(0.0)
+        assert "lat.mean_ms" not in snap
+        assert snap["lat.qps"] == 0.0
+
+
+class TestRequestLatencyWindows:
+    """Every proxy request type records into its own metric window."""
+
+    @pytest.fixture
+    def loaded_cluster(self, rng):
+        cluster = ManuCluster(num_query_nodes=2)
+        schema = CollectionSchema([
+            FieldSchema("vector", DataType.FLOAT_VECTOR, dim=16),
+            FieldSchema("price", DataType.FLOAT),
+        ])
+        cluster.create_collection("c", schema)
+        data = {"vector": rng.standard_normal((80, 16)).astype(np.float32),
+                "price": rng.uniform(0, 100, 80)}
+        cluster.insert("c", data)
+        cluster.run_for(200)
+        return cluster, data
+
+    def test_search_latency_recorded(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        cluster.search("c", data["vector"][0], 5,
+                       consistency=ConsistencyLevel.STRONG)
+        window = cluster.metrics.latency("proxy.search_latency")
+        assert window.count(cluster.now()) == 1
+
+    def test_range_search_latency_recorded(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        cluster.proxies[0].range_search("c", data["vector"][0], radius=50.0,
+                                        consistency=ConsistencyLevel.STRONG)
+        window = cluster.metrics.latency("proxy.range_search_latency")
+        assert window.count(cluster.now()) == 1
+
+    def test_multivector_latency_recorded(self, loaded_cluster):
+        cluster, data = loaded_cluster
+        from repro.core.multivector import MultiVectorQuery
+        query = MultiVectorQuery(fields=("vector",),
+                                 queries={"vector": data["vector"][1]},
+                                 weights={"vector": 1.0},
+                                 metric=MetricType.EUCLIDEAN)
+        cluster.proxies[0].search_multivector(
+            "c", query, 5, consistency=ConsistencyLevel.STRONG)
+        window = cluster.metrics.latency("proxy.multivector_latency")
+        assert window.count(cluster.now()) == 1
+
+
+class TestDashboardSmoke:
+    def test_render_live_cluster(self, rng):
+        cluster = ManuCluster(num_query_nodes=2, num_index_nodes=1)
+        schema = CollectionSchema([
+            FieldSchema("vector", DataType.FLOAT_VECTOR, dim=16)])
+        cluster.create_collection("c", schema)
+        cluster.insert("c", {
+            "vector": rng.standard_normal((120, 16)).astype(np.float32)})
+        cluster.run_for(300)
+        cluster.flush("c")
+        cluster.create_index("c", "vector", "IVF_FLAT",
+                             MetricType.EUCLIDEAN,
+                             {"nlist": 4, "nprobe": 4})
+        cluster.wait_for_indexes("c")
+        cluster.search("c", rng.standard_normal(16).astype(np.float32), 3,
+                       consistency=ConsistencyLevel.STRONG)
+
+        text = dashboard.render(cluster)
+        assert "MANU SYSTEM VIEW" in text
+        assert "QUERY NODES" in text
+        assert "INDEX NODES" in text
+        assert "COLLECTIONS" in text
+        assert "c" in text
+        assert "IVF_FLAT" in text
+        # Every line stays within a terminal-ish width.
+        assert all(len(line) < 100 for line in text.splitlines())
+
+    def test_render_empty_cluster(self):
+        cluster = ManuCluster()
+        text = dashboard.render(cluster)
+        assert "MANU SYSTEM VIEW" in text
+        assert "COLLECTIONS" in text
