@@ -94,6 +94,22 @@ def main() -> None:
         traces = len(cluster.tracer.trace_ids())
         print(f"wrote {traces} traces to {trace_path}")
 
+    # 8. Optional: dump the telemetry plane — the Prometheus-style metric
+    #    exposition (MANU_METRICS) and a flight-recorder debug bundle
+    #    (MANU_FLIGHT) capturing metrics + health + topology + traces.
+    metrics_path = os.environ.get("MANU_METRICS")
+    if metrics_path:
+        cluster.sample_telemetry()
+        text = cluster.metrics.expose_text(cluster.now())
+        Path(metrics_path).write_text(text)
+        print(f"wrote {len(text.splitlines())} exposition lines "
+              f"to {metrics_path}")
+    flight_path = os.environ.get("MANU_FLIGHT")
+    if flight_path:
+        cluster.flight_recorder.record("quickstart")
+        cluster.flight_recorder.dump(flight_path)
+        print(f"wrote flight-recorder bundle to {flight_path}")
+
 
 if __name__ == "__main__":
     main()

@@ -51,6 +51,13 @@ from repro.errors import (
     StorageError,
     TimeTravelError,
 )
+from repro.monitoring import (
+    AlertRule,
+    FlightRecorder,
+    HealthState,
+    Histogram,
+    MetricFamily,
+)
 from repro.tracing import Span, TraceCollector, TraceContext
 
 __version__ = "0.1.0"
@@ -86,5 +93,10 @@ __all__ = [
     "Span",
     "TraceCollector",
     "TraceContext",
+    "AlertRule",
+    "FlightRecorder",
+    "HealthState",
+    "Histogram",
+    "MetricFamily",
     "__version__",
 ]

@@ -25,12 +25,17 @@ from repro.analysis.base import (
 )
 
 #: layer -> layers it must never import (the architecture DAG, inverted).
+#: ``monitoring`` joins ``tracing`` as an observability plane the data
+#: plane must stay ignorant of: the broker/TSO/consistency machinery
+#: reports *through* duck-typed hooks and public accessors (e.g.
+#: ``Subscription.lag()``), never by importing the metrics registry.
 FORBIDDEN_EDGES = {
-    "core": ("nodes", "coord", "cluster", "api"),
-    "index": ("nodes", "coord", "cluster", "api"),
-    "storage": ("nodes", "coord", "cluster", "api"),
-    "log": ("nodes",),
-    "tracing": ("nodes", "coord", "cluster", "api", "log"),
+    "core": ("nodes", "coord", "cluster", "api", "monitoring"),
+    "index": ("nodes", "coord", "cluster", "api", "monitoring"),
+    "storage": ("nodes", "coord", "cluster", "api", "monitoring"),
+    "log": ("nodes", "monitoring"),
+    "tracing": ("nodes", "coord", "cluster", "api", "log", "monitoring"),
+    "monitoring": ("nodes", "coord", "api", "log"),
 }
 
 
@@ -52,7 +57,8 @@ def _imported_repro_layers(ctx: ModuleContext) -> Iterable:
 class LayeringRule(Rule):
     id = "layering"
     description = ("core/index/storage must not import nodes/coord/cluster/"
-                   "api; log must not import nodes")
+                   "api; log must not import nodes; log and core must not "
+                   "import monitoring (metrics flow via duck-typed hooks)")
     paper_ref = "Section 2 (layered architecture), Section 3.3 (log backbone)"
 
     def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:

@@ -25,7 +25,16 @@ POST        /collections/{name}/range_search       radius search
 POST        /collections/{name}/indexes            declare an index
 POST        /collections/{name}/flush              seal + persist segments
 GET         /system                                metrics snapshot
+GET         /metrics                               Prometheus exposition
+GET         /healthz                               component health + alerts
 ==========  =====================================  =========================
+
+``GET /metrics`` returns the exposition text under a ``text`` key (the
+handler is transport-agnostic and always returns a JSON-able dict; an
+HTTP server fronting it should serve the ``text`` value with the usual
+``text/plain; version=0.0.4`` content type).  ``GET /healthz`` answers
+200 while every component is healthy/degraded and 503 once any component
+is down — the shape load balancers probe.
 """
 
 from __future__ import annotations
@@ -81,6 +90,15 @@ class RestApi:
             return 200, {"metrics": self._cluster.stats_snapshot(),
                          "query_nodes": self._cluster.num_query_nodes,
                          "virtual_time_ms": self._cluster.now()}
+        if parts == ["metrics"] and method == "GET":
+            # Refresh sampled gauges so a scrape never reads stale lag.
+            self._cluster.sample_telemetry()
+            return 200, {"text": self._cluster.metrics.expose_text(
+                self._cluster.now())}
+        if parts == ["healthz"] and method == "GET":
+            snapshot = self._cluster.health_snapshot()
+            status = 503 if snapshot["status"] == "down" else 200
+            return status, snapshot
         if not parts or parts[0] != "collections":
             return 404, {"error": f"unknown path /{'/'.join(parts)}"}
 

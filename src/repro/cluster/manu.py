@@ -36,12 +36,15 @@ from repro.core.multivector import MultiVectorQuery
 from repro.core.results import SearchResult
 from repro.core.schema import CollectionSchema, MetricType
 from repro.core.segment import Segment
-from repro.core.tso import TimestampOracle
+from repro.core.tso import Timestamp, TimestampOracle
 from repro.errors import ClusterStateError, ManuError
 from repro.log.broker import LogBroker
 from repro.log.logger_node import LoggerService
 from repro.log.timetick import TimeTickEmitter
 from repro.log.wal import shard_channel
+from repro.monitoring.alerts import AlertEngine
+from repro.monitoring.flight_recorder import FlightRecorder
+from repro.monitoring.health import HealthTracker
 from repro.monitoring.metrics import MetricsRegistry
 from repro.nodes.data_node import DataNode
 from repro.nodes.index_node import IndexNode
@@ -86,6 +89,25 @@ class ManuCluster:
         self.metastore = MetaStore()
         self.metrics = MetricsRegistry()
 
+        # Telemetry plane: health states fed by the heartbeat timer, SLO
+        # alert rules evaluated on the telemetry timer, and the flight
+        # recorder capturing debug bundles whenever a rule fires.
+        mon = self.config.monitoring
+        self.health = HealthTracker(
+            self.loop.now,
+            heartbeat_interval_ms=mon.heartbeat_interval_ms,
+            degraded_after_beats=mon.degraded_after_beats,
+            down_after_beats=mon.down_after_beats)
+        self.alerts = AlertEngine(registry=self.metrics,
+                                  clock_ms=self.loop.now)
+        for rule_name, rule_text in mon.alert_rules:
+            self.alerts.add_rule_text(rule_name, rule_text)
+        self.flight_recorder = FlightRecorder(
+            self.loop.now, self.metrics, health=self.health,
+            tracer=self.tracer, capacity=mon.flight_capacity,
+            max_traces=mon.flight_max_traces)
+        self.alerts.on_fire(self._on_alert_fire)
+
         # Coordinators.
         self.data_coord = DataCoordinator(self.metastore, self.broker,
                                           self.store, self.tso, self.config,
@@ -100,7 +122,8 @@ class ManuCluster:
                                             tracer=self.tracer)
         self.query_coord = QueryCoordinator(self.metastore, self.broker,
                                             self.loop, self.config,
-                                            self.data_coord)
+                                            self.data_coord,
+                                            health=self.health)
         self.query_coord.index_coord = self.index_coord
 
         # Loggers.
@@ -119,12 +142,12 @@ class ManuCluster:
             self.data_nodes.append(DataNode(
                 f"dn-{i}", self.loop, self.broker, self.store, self.config,
                 self.cost_model, self.root_coord.get_schema,
-                tracer=self.tracer))
+                tracer=self.tracer, metrics=self.metrics))
         self.index_nodes: list[IndexNode] = []
         for i in range(num_index_nodes):
             node = IndexNode(f"in-{i}", self.loop, self.broker, self.store,
                              self.config, self.cost_model,
-                             tracer=self.tracer)
+                             tracer=self.tracer, metrics=self.metrics)
             self.index_nodes.append(node)
             self.index_coord.add_node(node)
         for i in range(num_query_nodes):
@@ -163,8 +186,13 @@ class ManuCluster:
         # Housekeeping timers.
         self.loop.call_every(self.config.segment.seal_idle_ms / 4.0,
                              self._housekeeping, name="housekeeping")
+        self.loop.call_every(mon.heartbeat_interval_ms, self._heartbeat,
+                             name="heartbeat")
+        self.loop.call_every(mon.telemetry_interval_ms,
+                             self._telemetry_tick, name="telemetry")
         self.root_coord.on_create(self._wire_collection)
         self.root_coord.on_drop(self._unwire_collection)
+        self._heartbeat()
 
     # ------------------------------------------------------------------
     # wiring
@@ -174,7 +202,8 @@ class ManuCluster:
         name = f"qn-{next(self._node_seq)}"
         node = QueryNode(name, self.loop, self.broker, self.store,
                          self.config, self.cost_model,
-                         self.root_coord.get_schema, tracer=self.tracer)
+                         self.root_coord.get_schema, tracer=self.tracer,
+                         metrics=self.metrics)
         self.query_coord.add_node(node)
         return node
 
@@ -207,6 +236,125 @@ class ManuCluster:
             self.data_coord.check_idle()
             for data_node in self.data_nodes:
                 data_node.flush_delta_logs()
+
+    # ------------------------------------------------------------------
+    # telemetry plane
+    # ------------------------------------------------------------------
+
+    def _on_alert_fire(self, event) -> None:
+        self.flight_recorder.record(
+            f"alert:{event.rule.name}",
+            extra={"condition": event.rule.condition_text(),
+                   "value": event.value,
+                   "description": event.rule.description})
+
+    def _heartbeat(self) -> None:
+        """Refresh liveness for every component still answering.
+
+        Components that stop beating decay to degraded/down through the
+        tracker's staleness thresholds; abrupt failures the coordinators
+        observe directly (``fail_node``) are marked down immediately.
+        """
+        for node in self.query_coord.live_nodes():
+            self.health.beat(f"query-node:{node.name}")
+        for data_node in self.data_nodes:
+            self.health.beat(f"data-node:{data_node.name}")
+        for index_node in self.index_nodes:
+            if index_node.alive:
+                self.health.beat(f"index-node:{index_node.name}")
+            else:
+                self.health.mark_down(f"index-node:{index_node.name}")
+        for proxy in self.proxies:
+            self.health.beat(f"proxy:{proxy.name}")
+        for logger_name in self.logger_service.logger_names:
+            self.health.beat(f"logger:{logger_name}")
+
+    def _telemetry_tick(self) -> None:
+        # Sampling must not disturb request traces or the virtual
+        # schedule: detached, read-only, and allocation-free on the TSO.
+        with self.tracer.detached():
+            self.sample_telemetry()
+            self.alerts.evaluate()
+
+    def sample_telemetry(self) -> None:
+        """Sample backbone lag, staleness, backlogs and health into gauges.
+
+        Runs periodically on the telemetry timer; callable directly when a
+        test or operator wants fresh gauges *now*.  Uses
+        ``Timestamp.from_physical`` for the watermark-lag reference so
+        sampling never allocates TSO timestamps (which would shift LSNs
+        and break deterministic replays).
+        """
+        now = self.loop.now()
+        metrics = self.metrics
+
+        lag_family = metrics.gauge_family(
+            "wal_subscriber_lag", ("channel", "subscriber"),
+            help="records behind the channel end", unit="records")
+        lag_family.set_gauges({
+            (sub.channel, sub.name): float(sub.lag())
+            for sub in self.broker.subscriptions()})
+
+        depth_family = metrics.gauge_family(
+            "delivery_queue_depth", ("channel",),
+            help="records awaiting push delivery", unit="records")
+        depth_family.set_gauges({
+            (channel,): float(self.broker.delivery_queue_depth(channel))
+            for channel in self.broker.channels()})
+
+        stale_family = metrics.gauge_family(
+            "timetick_staleness_ms", ("channel",),
+            help="virtual time since the last time-tick", unit="ms")
+        stale_family.set_gauges({
+            (channel,): staleness for channel, staleness
+            in self.timetick.staleness_ms(now).items()})
+
+        watermark_family = metrics.gauge_family(
+            "watermark_lag_ms", ("node", "collection"),
+            help="physical staleness of the consistency watermark",
+            unit="ms")
+        now_ts = Timestamp.from_physical(now).pack()
+        watermark_family.set_gauges({
+            (node.name, collection):
+                node.gate(collection).lag_ms(now_ts)
+            for collection in self.query_coord.loaded_collections()
+            for node in self.query_coord.live_nodes()})
+
+        flush_family = metrics.gauge_family(
+            "flush_backlog", ("node",),
+            help="parked seals + growing segments on a data node",
+            unit="segments")
+        flush_family.set_gauges({
+            (data_node.name,): float(data_node.flush_backlog())
+            for data_node in self.data_nodes})
+
+        build_family = metrics.gauge_family(
+            "build_backlog_ms", ("node",),
+            help="virtual time until an index node drains its queue",
+            unit="ms")
+        build_family.set_gauges({
+            (index_node.name,): index_node.queue_depth_ms()
+            for index_node in self.index_nodes})
+
+        health_family = metrics.gauge_family(
+            "component_health", ("component",),
+            help="0=healthy 1=degraded 2=down")
+        health_family.set_gauges({
+            (component,): float(state)
+            for component, state in self.health.health_map().items()})
+
+        metrics.gauge("cluster.query_nodes").set(self.num_query_nodes)
+
+    def health_snapshot(self) -> dict:
+        """Cluster health view served by REST ``GET /healthz``."""
+        return {
+            "status": self.health.worst().label,
+            "components": {component: state.label
+                           for component, state
+                           in self.health.health_map().items()},
+            "alerts": self.alerts.status(),
+            "firing": self.alerts.firing(),
+        }
 
     # ------------------------------------------------------------------
     # time control
@@ -453,6 +601,7 @@ class ManuCluster:
         shard and persisted as SSTables in object storage (Section 3.3).
         """
         self.logger_service.remove_logger(name)
+        self.health.mark_down(f"logger:{name}")
 
     def add_logger(self, name: str) -> None:
         """Scale the logger tier up by one node."""

@@ -110,6 +110,19 @@ class ScalingConfig:
     evaluation_interval_ms: float = 10_000.0
     """How often the autoscaler inspects the latency signal."""
 
+    latency_signal: str = "proxy.search_latency"
+    """Registry signal (family or latency window) driving latency scaling."""
+
+    latency_agg: str = "mean"
+    """Aggregation applied to ``latency_signal`` (mean/p50/p95/p99/...)."""
+
+    lag_signal: str = "wal_subscriber_lag"
+    """Gauge family watched for log-backbone backlog (records behind)."""
+
+    lag_high_records: float = 0.0
+    """Scale up when any ``lag_signal`` series exceeds this; 0 disables
+    lag-driven scaling (the seed behaviour)."""
+
 
 @dataclass(frozen=True)
 class TracingConfig:
@@ -129,6 +142,34 @@ class TracingConfig:
 
 
 @dataclass(frozen=True)
+class MonitoringConfig:
+    """Telemetry-plane tunables (DESIGN.md §6d)."""
+
+    heartbeat_interval_ms: float = 100.0
+    """Period of the cluster heartbeat that refreshes component health."""
+
+    degraded_after_beats: float = 2.0
+    """Missed-beat multiple after which a component reads ``degraded``."""
+
+    down_after_beats: float = 4.0
+    """Missed-beat multiple after which a component reads ``down``."""
+
+    telemetry_interval_ms: float = 250.0
+    """Period of backbone sampling (lag, staleness, backlogs) and alert
+    evaluation."""
+
+    flight_capacity: int = 8
+    """Flight-recorder ring size (debug bundles retained)."""
+
+    flight_max_traces: int = 5
+    """Most recent sampled traces embedded in each flight bundle."""
+
+    alert_rules: tuple = ()
+    """Declarative SLO rules: ``(name, "signal.agg > x for 5s")`` pairs
+    installed into the cluster's alert engine at construction."""
+
+
+@dataclass(frozen=True)
 class ManuConfig:
     """Top-level configuration for a :class:`repro.cluster.manu.ManuCluster`."""
 
@@ -138,6 +179,7 @@ class ManuConfig:
     query: QueryConfig = field(default_factory=QueryConfig)
     scaling: ScalingConfig = field(default_factory=ScalingConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
+    monitoring: MonitoringConfig = field(default_factory=MonitoringConfig)
 
     def with_overrides(self, **sections) -> "ManuConfig":
         """Return a copy with whole sections replaced.

@@ -36,12 +36,18 @@ class QueryCoordinator:
     """Placement and liveness authority for query nodes."""
 
     def __init__(self, metastore: MetaStore, broker: LogBroker,
-                 loop: EventLoop, config: ManuConfig, data_coord) -> None:
+                 loop: EventLoop, config: ManuConfig, data_coord,
+                 health=None) -> None:
         self._meta = metastore
         self._broker = broker
         self._loop = loop
         self._config = config
         self._data_coord = data_coord
+        # Optional repro.monitoring.HealthTracker (duck-typed): membership
+        # changes report liveness transitions so health flips to ``down``
+        # the moment the coordinator learns of a failure, not a lease
+        # expiry later.
+        self._health = health
         self._nodes: dict[str, QueryNode] = {}
         # (collection, segment_id) -> set of node names holding it sealed
         self._assignments: dict[tuple[str, str], set[str]] = {}
@@ -62,6 +68,8 @@ class QueryCoordinator:
         if node.name in self._nodes:
             raise ClusterStateError(f"query node {node.name} exists")
         self._nodes[node.name] = node
+        if self._health is not None:
+            self._health.beat(f"query-node:{node.name}")
         for collection, num_shards in self._loaded.items():
             for shard in range(num_shards):
                 channel = shard_channel(collection, shard)
@@ -99,6 +107,9 @@ class QueryCoordinator:
             self._assignments.pop((collection, segment_id), None)
         node.alive = False
         del self._nodes[name]
+        if self._health is not None:
+            # Graceful decommission is not an outage.
+            self._health.forget(f"query-node:{name}")
 
     def fail_node(self, name: str) -> None:
         """Abrupt failure: recover segments and channels on healthy nodes."""
@@ -108,6 +119,8 @@ class QueryCoordinator:
         owned = sorted(node.owned_channels)
         node.fail()
         del self._nodes[name]
+        if self._health is not None:
+            self._health.mark_down(f"query-node:{name}")
         for (collection, segment_id), holders in affected:
             holders.discard(name)
             if not holders:
@@ -222,6 +235,9 @@ class QueryCoordinator:
 
     def is_loaded(self, collection: str) -> bool:
         return collection in self._loaded
+
+    def loaded_collections(self) -> list[str]:
+        return sorted(self._loaded)
 
     # ------------------------------------------------------------------
     # placement

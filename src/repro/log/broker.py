@@ -195,6 +195,32 @@ class LogBroker:
             self._deliver(sub)
         return sub
 
+    def subscriptions(self, channel: Optional[str] = None) -> list[Subscription]:
+        """Active subscriptions, for one channel or all of them.
+
+        This is the telemetry plane's window into backbone lag: the
+        cluster samples ``sub.lag()`` per (channel, subscriber) pair from
+        here, keeping the log layer itself metrics-import-free.
+        """
+        if channel is not None:
+            return [sub for sub in self._subs.get(channel, ()) if sub.active]
+        return [sub for subs in self._subs.values()
+                for sub in subs if sub.active]
+
+    def depth(self, channel: str) -> int:
+        """Retained (non-truncated) entries in a channel."""
+        return len(self._entries(channel))
+
+    def delivery_queue_depth(self, channel: str) -> int:
+        """Entries appended but not yet pushed to the channel's push subs.
+
+        Sums cursor lag over push-mode subscriptions only — pull-mode
+        cursors (e.g. replay scans) consume at their own pace and are
+        reported through per-subscriber lag instead.
+        """
+        return sum(sub.lag() for sub in self._subs.get(channel, ())
+                   if sub.active and sub.callback is not None)
+
     def _drop(self, sub: Subscription) -> None:
         subs = self._subs.get(sub.channel, [])
         if sub in subs:

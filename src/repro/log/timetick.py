@@ -49,6 +49,9 @@ class TimeTickEmitter:
         self._channels: list[str] = list(channels)
         self._timer: Optional[Event] = None
         self.ticks_emitted = 0
+        # Virtual time of the last tick per channel — the telemetry plane
+        # reads staleness (now - last tick) from here per shard.
+        self._last_tick_ms: dict[str, float] = {}
 
     def add_channel(self, channel: str) -> None:
         """Start ticking a newly created channel (idempotent)."""
@@ -58,6 +61,18 @@ class TimeTickEmitter:
     def remove_channel(self, channel: str) -> None:
         if channel in self._channels:
             self._channels.remove(channel)
+        self._last_tick_ms.pop(channel, None)
+
+    def staleness_ms(self, now_ms: float) -> dict[str, float]:
+        """Per-channel virtual time since the last emitted tick.
+
+        A channel registered but never ticked (emitter not started yet)
+        does not appear; downstream health logic treats absence as "no
+        signal", not "infinitely stale".
+        """
+        return {channel: max(0.0, now_ms - last)
+                for channel, last in self._last_tick_ms.items()
+                if channel in self._channels}
 
     def start(self) -> None:
         """Begin periodic emission; safe to call once."""
@@ -84,7 +99,9 @@ class TimeTickEmitter:
                                       channels=len(self._channels)) \
                 if traced else nullcontext()
             with scope:
+                now = self._loop.now()
                 for channel in self._channels:
                     self._broker.publish(
                         channel, TimeTickRecord(ts=ts, source=self.source))
+                    self._last_tick_ms[channel] = now
         self.ticks_emitted += 1

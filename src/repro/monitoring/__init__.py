@@ -1,11 +1,49 @@
-"""Monitoring: the data source behind the paper's Attu GUI (Section 4.2).
+"""Monitoring: the cluster telemetry plane (paper §7, Attu's data source).
 
-We do not ship a GUI, but :mod:`repro.monitoring.metrics` provides the same
-observables Attu's system view displays — QPS, average query latency, and
-memory consumption per component — as programmatic counters, gauges and
-sliding-window statistics that the autoscaler and benchmarks consume.
+We do not ship a GUI, but this package provides the observables a cloud
+vector DB operates on: labeled metric families (counters, gauges,
+fixed-bucket histograms with mergeable percentiles) in
+:mod:`~repro.monitoring.metrics`, Prometheus-style text exposition in
+:mod:`~repro.monitoring.exposition`, heartbeat-driven component health in
+:mod:`~repro.monitoring.health`, SLO alert rules on virtual time in
+:mod:`~repro.monitoring.alerts`, and the crash :class:`FlightRecorder` in
+:mod:`~repro.monitoring.flight_recorder`.  The autoscaler, dashboard,
+REST ``/metrics`` + ``/healthz`` endpoints and benchmarks all consume
+these.
 """
 
-from repro.monitoring.metrics import Counter, Gauge, LatencyWindow, MetricsRegistry
+from repro.monitoring.alerts import (
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    resolve_signal,
+)
+from repro.monitoring.exposition import parse_exposition, render_exposition
+from repro.monitoring.flight_recorder import FlightRecorder
+from repro.monitoring.health import HealthState, HealthTracker
+from repro.monitoring.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LatencyWindow,
+    MetricFamily,
+    MetricsRegistry,
+)
 
-__all__ = ["Counter", "Gauge", "LatencyWindow", "MetricsRegistry"]
+__all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "HealthState",
+    "HealthTracker",
+    "Histogram",
+    "LatencyWindow",
+    "MetricFamily",
+    "MetricsRegistry",
+    "parse_exposition",
+    "render_exposition",
+    "resolve_signal",
+]

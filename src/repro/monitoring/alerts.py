@@ -1,0 +1,206 @@
+"""SLO alert rules evaluated on virtual time.
+
+A rule watches one *signal* — any metric family or latency window in the
+registry, reduced to a single number by an aggregation (``sum``/``max``/
+``min``/``mean`` for counters and gauges, ``p50``/``p95``/``p99``/
+``mean``/``count`` for histograms and windows) — and fires when the
+threshold comparison holds continuously for ``sustained_for_ms`` of
+virtual time.  Rules parse from the compact text form used in config and
+docs::
+
+    AlertRule.parse("slow-search", "search_latency.p99 > 20 for 5s")
+    AlertRule.parse("wal-lag",     "wal_subscriber_lag.max > 100")
+
+Firing callbacks are how the flight recorder gets triggered; the engine
+itself never imports it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+_WINDOW_AGGS = ("mean", "p50", "p95", "p99", "qps", "count")
+_VALUE_AGGS = ("sum", "max", "min", "mean")
+_HIST_AGGS = ("mean", "sum", "count", "p50", "p95", "p99")
+_KNOWN_AGGS = tuple(sorted(set(_WINDOW_AGGS + _VALUE_AGGS + _HIST_AGGS)))
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+_RULE_TEXT = re.compile(
+    r"^\s*(?P<signal>[A-Za-z0-9_.{}=,/-]+?)"
+    r"(?:\.(?P<agg>" + "|".join(_KNOWN_AGGS) + r"))?"
+    r"\s*(?P<op>>=|<=|>|<)\s*"
+    r"(?P<threshold>-?[0-9]+(?:\.[0-9]+)?)"
+    r"(?:\s+for\s+(?P<duration>[0-9]+(?:\.[0-9]+)?)(?P<unit>ms|s))?\s*$")
+
+
+def resolve_signal(registry, signal: str, agg: Optional[str],
+                   now_ms: float) -> Optional[float]:
+    """Current value of ``signal`` under ``agg``; None when absent/empty.
+
+    Families resolve through :meth:`MetricFamily.aggregate`; latency
+    windows through their ``mean``/``percentile``/``qps``/``count``
+    accessors.  An unknown signal is *not* an error — alerting must
+    degrade gracefully when a component has not emitted yet.
+    """
+    family = registry.families.get(signal)
+    if family is not None:
+        return family.aggregate(agg)
+    window = registry.windows.get(signal)
+    if window is None:
+        return None
+    agg = agg or "mean"
+    if agg == "mean":
+        return window.mean(now_ms)
+    if agg == "qps":
+        return window.qps(now_ms)
+    if agg == "count":
+        return float(window.count(now_ms))
+    if agg.startswith("p") and agg[1:].isdigit():
+        return window.percentile(now_ms, float(agg[1:]))
+    raise ValueError(f"unknown window aggregation {agg!r}")
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """Threshold + sustained-for condition over one registry signal."""
+
+    name: str
+    signal: str
+    op: str
+    threshold: float
+    agg: Optional[str] = None
+    sustained_for_ms: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+        if self.sustained_for_ms < 0:
+            raise ValueError("sustained_for_ms must be >= 0")
+
+    @staticmethod
+    def parse(name: str, text: str, description: str = "") -> "AlertRule":
+        """Parse ``"<signal>[.<agg>] <op> <threshold> [for <n>(ms|s)]"``."""
+        match = _RULE_TEXT.match(text)
+        if match is None:
+            raise ValueError(f"cannot parse alert rule {text!r}")
+        duration_ms = 0.0
+        if match.group("duration") is not None:
+            duration_ms = float(match.group("duration"))
+            if match.group("unit") == "s":
+                duration_ms *= 1000.0
+        return AlertRule(name=name,
+                         signal=match.group("signal"),
+                         agg=match.group("agg"),
+                         op=match.group("op"),
+                         threshold=float(match.group("threshold")),
+                         sustained_for_ms=duration_ms,
+                         description=description)
+
+    def breached(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    def condition_text(self) -> str:
+        signal = self.signal if self.agg is None \
+            else f"{self.signal}.{self.agg}"
+        suffix = "" if self.sustained_for_ms == 0 \
+            else f" for {self.sustained_for_ms:g}ms"
+        return f"{signal} {self.op} {self.threshold:g}{suffix}"
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One firing: which rule, when (virtual ms), at what observed value."""
+
+    rule: AlertRule
+    fired_at_ms: float
+    value: float
+
+
+@dataclass
+class _RuleState:
+    pending_since_ms: Optional[float] = None
+    firing: bool = False
+    last_value: Optional[float] = None
+
+
+@dataclass
+class AlertEngine:
+    """Evaluates rules against a registry on the virtual clock.
+
+    ``evaluate(now_ms)`` is called from the cluster telemetry timer; a
+    rule fires once per breach episode (when its condition has held for
+    ``sustained_for_ms``) and re-arms when the condition clears.
+    """
+
+    registry: object
+    clock_ms: Callable[[], float]
+    rules: list = field(default_factory=list)
+    history: list = field(default_factory=list)
+    max_history: int = 256
+    _states: dict = field(default_factory=dict)
+    _on_fire: list = field(default_factory=list)
+
+    def add_rule(self, rule: AlertRule) -> AlertRule:
+        if any(existing.name == rule.name for existing in self.rules):
+            raise ValueError(f"duplicate alert rule name {rule.name!r}")
+        self.rules.append(rule)
+        self._states[rule.name] = _RuleState()
+        return rule
+
+    def add_rule_text(self, name: str, text: str,
+                      description: str = "") -> AlertRule:
+        return self.add_rule(AlertRule.parse(name, text, description))
+
+    def on_fire(self, callback: Callable[[AlertEvent], None]) -> None:
+        self._on_fire.append(callback)
+
+    def evaluate(self, now_ms: Optional[float] = None) -> list:
+        """Evaluate every rule; returns the events fired this round."""
+        now = self.clock_ms() if now_ms is None else now_ms
+        fired: list[AlertEvent] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            value = resolve_signal(self.registry, rule.signal, rule.agg, now)
+            state.last_value = value
+            if value is None or not rule.breached(value):
+                state.pending_since_ms = None
+                state.firing = False
+                continue
+            if state.pending_since_ms is None:
+                state.pending_since_ms = now
+            sustained = now - state.pending_since_ms
+            if sustained >= rule.sustained_for_ms and not state.firing:
+                state.firing = True
+                event = AlertEvent(rule=rule, fired_at_ms=now, value=value)
+                fired.append(event)
+                self.history.append(event)
+                del self.history[:-self.max_history]
+                for callback in self._on_fire:
+                    callback(event)
+        return fired
+
+    def firing(self) -> list:
+        """Names of rules currently in the firing state."""
+        return [rule.name for rule in self.rules
+                if self._states[rule.name].firing]
+
+    def status(self) -> dict:
+        """Per-rule view for the dashboard / REST healthz payload."""
+        out = {}
+        for rule in self.rules:
+            state = self._states[rule.name]
+            out[rule.name] = {
+                "condition": rule.condition_text(),
+                "value": state.last_value,
+                "firing": state.firing,
+            }
+        return out

@@ -5,7 +5,10 @@ latency and memory consumption, with per-service worker detail, plus a
 *collection view* listing collections, their load state and indexes.
 This module renders the same information from a live
 :class:`repro.cluster.manu.ManuCluster` as an ASCII dashboard — the data
-source and layout of Attu, minus the mouse.
+source and layout of Attu, minus the mouse.  On top of the paper's panels
+it shows what the telemetry plane adds: per-component health states, the
+log backbone's per-channel subscriber lag and tick staleness, and the
+alert rules currently firing.
 """
 
 from __future__ import annotations
@@ -18,6 +21,11 @@ def _bar(value: float, maximum: float, width: int = 20) -> str:
         return " " * width
     filled = int(round(min(1.0, value / maximum) * width))
     return "#" * filled + "." * (width - filled)
+
+
+def _health_label(cluster: ManuCluster, component: str) -> str:
+    state = cluster.health.state(component)
+    return state.label if state is not None else "unknown"
 
 
 def system_view(cluster: ManuCluster) -> str:
@@ -42,6 +50,9 @@ def system_view(cluster: ManuCluster) -> str:
         f"    object store: "
         f"{cluster.store.stats.bytes_written / (1024 * 1024):8.2f} MiB "
         "written",
+        f"cluster health: {cluster.health.worst().label}"
+        + (f"   FIRING: {', '.join(sorted(cluster.alerts.firing()))}"
+           if cluster.alerts.firing() else ""),
         "-" * 64,
         "QUERY NODES",
     ]
@@ -51,7 +62,12 @@ def system_view(cluster: ManuCluster) -> str:
         rows = node.num_rows()
         lines.append(
             f"  {node.name:8s} rows {rows:8d} [{_bar(rows, max_rows)}] "
-            f"served {node.searches_served:6d}")
+            f"served {node.searches_served:6d} "
+            f"{_health_label(cluster, f'query-node:{node.name}')}")
+    down = [c for c in cluster.health.down_components()
+            if c.startswith("query-node:")]
+    for component in down:
+        lines.append(f"  {component.split(':', 1)[1]:8s} DOWN")
     lines.append("INDEX NODES")
     for node in cluster.index_nodes:
         state = "alive" if node.alive else "down "
@@ -62,11 +78,28 @@ def system_view(cluster: ManuCluster) -> str:
     for node in cluster.data_nodes:
         lines.append(
             f"  {node.name:8s} flushed {node.segments_flushed:4d} "
-            f"channels {len(node.channels):2d}")
+            f"channels {len(node.channels):2d} "
+            f"backlog {node.flush_backlog():3d}")
     lines.append("LOGGERS")
     for name in cluster.logger_service.logger_names:
-        lines.append(f"  {name}")
+        lines.append(f"  {name:12s} {_health_label(cluster, f'logger:{name}')}")
+    lines.append(backbone_view(cluster))
     lines.append("=" * 64)
+    return "\n".join(lines)
+
+
+def backbone_view(cluster: ManuCluster) -> str:
+    """Per-channel log-backbone panel: lag, delivery queue, staleness."""
+    now = cluster.now()
+    staleness = cluster.timetick.staleness_ms(now)
+    lines = ["BACKBONE"]
+    for channel in cluster.broker.channels():
+        subs = cluster.broker.subscriptions(channel)
+        max_lag = max((sub.lag() for sub in subs), default=0)
+        stale = staleness.get(channel)
+        tick = f"{stale:7.1f} ms ago" if stale is not None else "    n/a"
+        lines.append(f"  {channel:28s} subs {len(subs):2d} "
+                     f"max lag {max_lag:5d} tick {tick}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,182 @@
+"""Prometheus-style text exposition for the metrics registry.
+
+:func:`render_exposition` turns a :class:`~repro.monitoring.metrics
+.MetricsRegistry` into the text format Prometheus scrapes (``# TYPE``
+headers, ``name{label="value"} 1.0`` series, ``_bucket{le=...}`` /
+``_sum`` / ``_count`` for histograms).  :func:`parse_exposition` reads
+that format back into a flat series map — used by the round-trip tests
+and by anything that wants to scrape the REST ``GET /metrics`` endpoint
+without a real Prometheus.
+
+Names arrive dotted (``proxy.p0.searches``) from the legacy shim; the
+renderer sanitizes them to the exposition charset (``proxy_p0_searches``)
+the same way prometheus client libraries do.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_SERIES_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$")
+_LABEL_PAIR = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)='
+                         r'"(?P<value>(?:[^"\\]|\\.)*)"')
+
+#: Percentile gauges emitted alongside each histogram family / window.
+_PERCENTILES = (50, 95, 99)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal metric name onto the exposition charset."""
+    sanitized = _NAME_SANITIZE.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+                .replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"') \
+                .replace("\\\\", "\\")
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label_value(str(value))}"'
+                     for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def _header(lines: list, name: str, kind: str, help_text: str) -> None:
+    if help_text:
+        lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_exposition(registry, now_ms: float) -> str:
+    """Render every family and latency window as exposition text."""
+    lines: list[str] = []
+    for name, family in sorted(registry.families.items()):
+        metric_name = sanitize_metric_name(name)
+        if family.kind == "counter":
+            _header(lines, metric_name, "counter", family.help)
+            for labels, child in family.samples():
+                lines.append(f"{metric_name}{_labels_text(labels)} "
+                             f"{_format_value(child.value)}")
+        elif family.kind == "gauge":
+            _header(lines, metric_name, "gauge", family.help)
+            for labels, child in family.samples():
+                lines.append(f"{metric_name}{_labels_text(labels)} "
+                             f"{_format_value(child.value)}")
+        else:
+            _render_histogram_family(lines, metric_name, family)
+    for name, window in sorted(registry.windows.items()):
+        _render_window(lines, sanitize_metric_name(name), window, now_ms)
+    return "\n".join(lines) + "\n"
+
+
+def _render_histogram_family(lines: list, metric_name: str,
+                             family) -> None:
+    _header(lines, metric_name, "histogram", family.help)
+    for labels, child in family.samples():
+        for bound, cumulative in child.cumulative_buckets():
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_value(bound)
+            lines.append(f"{metric_name}_bucket{_labels_text(bucket_labels)}"
+                         f" {_format_value(float(cumulative))}")
+        lines.append(f"{metric_name}_sum{_labels_text(labels)} "
+                     f"{_format_value(child.sum)}")
+        lines.append(f"{metric_name}_count{_labels_text(labels)} "
+                     f"{_format_value(float(child.count))}")
+    # Percentile gauges: per labeled child, plus an unlabeled aggregate
+    # over the merged distribution (this is where series like
+    # ``search_latency_p99`` come from).
+    for pct in _PERCENTILES:
+        pct_name = f"{metric_name}_p{pct}"
+        lines.append(f"# TYPE {pct_name} gauge")
+        if family.label_names:
+            for labels, child in family.samples():
+                value = child.percentile(pct)
+                if value is not None:
+                    lines.append(f"{pct_name}{_labels_text(labels)} "
+                                 f"{_format_value(value)}")
+        aggregate = family.aggregate(f"p{pct}")
+        if aggregate is not None:
+            lines.append(f"{pct_name} {_format_value(aggregate)}")
+
+
+def _render_window(lines: list, metric_name: str, window,
+                   now_ms: float) -> None:
+    _header(lines, f"{metric_name}_count", "gauge",
+            f"samples in the trailing {window.window_ms:g} ms window")
+    lines.append(f"{metric_name}_count "
+                 f"{_format_value(float(window.count(now_ms)))}")
+    lines.append(f"# TYPE {metric_name}_qps gauge")
+    lines.append(f"{metric_name}_qps {_format_value(window.qps(now_ms))}")
+    mean = window.mean(now_ms)
+    if mean is not None:
+        lines.append(f"# TYPE {metric_name}_mean_ms gauge")
+        lines.append(f"{metric_name}_mean_ms {_format_value(mean)}")
+    for pct in _PERCENTILES:
+        value = window.percentile(now_ms, pct)
+        if value is not None:
+            lines.append(f"# TYPE {metric_name}_p{pct} gauge")
+            lines.append(f"{metric_name}_p{pct} {_format_value(value)}")
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse exposition text into ``(name, ((label, value), ...)) -> float``.
+
+    Inverse of :func:`render_exposition` for the series lines (``# TYPE``
+    / ``# HELP`` comments are validated for shape and skipped).  Raises
+    ``ValueError`` on a malformed line, so tests catch renderer drift.
+    """
+    series: dict = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*", line):
+                raise ValueError(f"line {lineno}: malformed comment {raw!r}")
+            continue
+        match = _SERIES_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed series {raw!r}")
+        labels_text = match.group("labels")
+        labels = []
+        if labels_text:
+            consumed = 0
+            for pair in _LABEL_PAIR.finditer(labels_text):
+                labels.append((pair.group("key"),
+                               _unescape_label_value(pair.group("value"))))
+                consumed = pair.end()
+            leftover = labels_text[consumed:].strip().strip(",")
+            if leftover:
+                raise ValueError(
+                    f"line {lineno}: malformed labels {labels_text!r}")
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_text)
+        series[(match.group("name"), tuple(sorted(labels)))] = value
+    return series

@@ -1,0 +1,82 @@
+"""Flight recorder: JSON debug bundles captured when alerts fire.
+
+When an SLO rule fires (or an operator asks), the recorder snapshots
+everything needed to debug the episode after the fact: the full metric
+snapshot, the component health map, the pub/sub topology recovered from
+sampled traces, and the most recent sampled span trees.  Bundles live in
+a bounded ring buffer and serialize to JSON (``MANU_FLIGHT=bundle.json``
+in the quickstart, CI artifact upload).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Callable, Deque, Optional
+
+
+def _span_dict(span) -> dict:
+    return {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "component": span.component,
+        "start_ms": span.start_ms,
+        "end_ms": span.end_ms,
+        "status": span.status,
+        "tags": dict(span.tags),
+    }
+
+
+class FlightRecorder:
+    """Bounded ring of debug bundles snapshotting cluster state."""
+
+    def __init__(self, clock_ms: Callable[[], float], registry,
+                 health=None, tracer=None,
+                 capacity: int = 8, max_traces: int = 5) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._clock_ms = clock_ms
+        self._registry = registry
+        self._health = health
+        self._tracer = tracer
+        self.max_traces = max_traces
+        self.bundles: Deque[dict] = deque(maxlen=capacity)
+
+    def record(self, reason: str, extra: Optional[dict] = None) -> dict:
+        """Capture a bundle now; returns it (also kept in the ring)."""
+        now = self._clock_ms()
+        bundle: dict = {
+            "reason": reason,
+            "at_ms": now,
+            "metrics": self._registry.snapshot(now),
+        }
+        if self._health is not None:
+            bundle["health"] = {component: state.label
+                                for component, state
+                                in self._health.health_map().items()}
+        if self._tracer is not None:
+            bundle["topology"] = sorted(
+                list(edge) for edge in self._tracer.observed_edges())
+            traces = {}
+            for trace_id in self._tracer.trace_ids()[-self.max_traces:]:
+                traces[str(trace_id)] = [
+                    _span_dict(span)
+                    for span in self._tracer.spans(trace_id)]
+            bundle["traces"] = traces
+        if extra:
+            bundle["extra"] = dict(extra)
+        self.bundles.append(bundle)
+        return bundle
+
+    def last(self) -> Optional[dict]:
+        return self.bundles[-1] if self.bundles else None
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(list(self.bundles), indent=indent, sort_keys=True)
+
+    def dump(self, path: str) -> None:
+        """Write every retained bundle to ``path`` as a JSON array."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())

@@ -1,0 +1,96 @@
+"""Heartbeat-driven component health states.
+
+Every live component beats on the cluster heartbeat timer; the tracker
+classifies each component by the virtual age of its last beat:
+
+* ``HEALTHY`` — beaten within ``degraded_after_beats`` intervals,
+* ``DEGRADED`` — stale but within ``down_after_beats`` intervals,
+* ``DOWN`` — older than that, or explicitly marked down (a coordinator
+  observing a failure reports it immediately instead of waiting for the
+  lease to expire).
+
+Gracefully decommissioned components are :meth:`~HealthTracker.forget`\\ -ten
+so a scale-down does not read as an outage.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+
+class HealthState(enum.IntEnum):
+    """Component health; ordered so ``max()`` picks the worst state."""
+
+    HEALTHY = 0
+    DEGRADED = 1
+    DOWN = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+class HealthTracker:
+    """Tracks per-component heartbeats on the virtual clock."""
+
+    def __init__(self, clock_ms: Callable[[], float],
+                 heartbeat_interval_ms: float = 100.0,
+                 degraded_after_beats: float = 2.0,
+                 down_after_beats: float = 4.0) -> None:
+        if heartbeat_interval_ms <= 0:
+            raise ValueError("heartbeat_interval_ms must be positive")
+        if not 0 < degraded_after_beats < down_after_beats:
+            raise ValueError("need 0 < degraded_after_beats "
+                             "< down_after_beats")
+        self._clock_ms = clock_ms
+        self.heartbeat_interval_ms = heartbeat_interval_ms
+        self._degraded_after_ms = degraded_after_beats * heartbeat_interval_ms
+        self._down_after_ms = down_after_beats * heartbeat_interval_ms
+        self._last_beat_ms: dict[str, float] = {}
+        self._forced_down: set[str] = set()
+
+    def beat(self, component: str) -> None:
+        """Record a heartbeat; revives a component previously marked down."""
+        self._last_beat_ms[component] = self._clock_ms()
+        self._forced_down.discard(component)
+
+    def mark_down(self, component: str) -> None:
+        """Report a known failure immediately (no lease-expiry wait)."""
+        self._last_beat_ms.setdefault(component, self._clock_ms())
+        self._forced_down.add(component)
+
+    def forget(self, component: str) -> None:
+        """Drop a gracefully decommissioned component from tracking."""
+        self._last_beat_ms.pop(component, None)
+        self._forced_down.discard(component)
+
+    def components(self) -> list[str]:
+        return sorted(self._last_beat_ms)
+
+    def state(self, component: str) -> Optional[HealthState]:
+        """Health of one component; None when it was never tracked."""
+        last = self._last_beat_ms.get(component)
+        if last is None:
+            return None
+        if component in self._forced_down:
+            return HealthState.DOWN
+        age = self._clock_ms() - last
+        if age <= self._degraded_after_ms:
+            return HealthState.HEALTHY
+        if age <= self._down_after_ms:
+            return HealthState.DEGRADED
+        return HealthState.DOWN
+
+    def health_map(self) -> dict[str, HealthState]:
+        return {component: self.state(component)
+                for component in self.components()}
+
+    def worst(self) -> HealthState:
+        """Overall cluster health (HEALTHY when nothing is tracked)."""
+        states = self.health_map().values()
+        return max(states, default=HealthState.HEALTHY)
+
+    def down_components(self) -> list[str]:
+        return [component for component, state in self.health_map().items()
+                if state is HealthState.DOWN]

@@ -45,7 +45,8 @@ class DataNode:
                  store: ObjectStore, config: ManuConfig,
                  cost_model: CostModel,
                  schema_provider,
-                 tracer: Optional[TraceCollector] = None) -> None:
+                 tracer: Optional[TraceCollector] = None,
+                 metrics=None) -> None:
         self.name = name
         self._loop = loop
         self._broker = broker
@@ -69,6 +70,14 @@ class DataNode:
                                   tuple[int, Optional[tuple]]] = {}
         self.segments_flushed = 0
         self._coord_sub: Subscription | None = None
+        # Optional repro.monitoring.MetricsRegistry (duck-typed): virtual
+        # object-store write duration per flushed segment.
+        self._flush_hist = None
+        if metrics is not None:
+            self._flush_hist = metrics.histogram_family(
+                "data_node_flush", ("node",),
+                help="binlog flush (object write) duration",
+                unit="ms").labels(node=name)
 
     # ------------------------------------------------------------------
     # subscriptions
@@ -305,12 +314,19 @@ class DataNode:
 
         self._loop.call_after(write_ms, announce,
                               name=f"flush:{segment_id}")
+        if self._flush_hist is not None:
+            self._flush_hist.observe(write_ms)
         return segment_id
 
     def growing_segments(self) -> list[tuple[str, str, int]]:
         """(collection, segment_id, rows) of in-memory growing segments."""
         return sorted((c, s, seg.num_rows)
                       for (c, s), seg in self._growing.items())
+
+    def flush_backlog(self) -> int:
+        """Work waiting to reach the object store: parked seals plus
+        growing segments still accumulating rows (telemetry signal)."""
+        return len(self._pending_seals) + len(self._growing)
 
 
 def _take(values, keep: list[int]):

@@ -63,7 +63,8 @@ class IndexNode:
     def __init__(self, name: str, loop: EventLoop, broker: LogBroker,
                  store: ObjectStore, config: ManuConfig,
                  cost_model: CostModel,
-                 tracer: Optional[TraceCollector] = None) -> None:
+                 tracer: Optional[TraceCollector] = None,
+                 metrics=None) -> None:
         self.name = name
         self._loop = loop
         self._broker = broker
@@ -76,6 +77,14 @@ class IndexNode:
         self.busy_until_ms = 0.0
         self.builds_completed = 0
         self.alive = True
+        # Optional repro.monitoring.MetricsRegistry (duck-typed): virtual
+        # build duration (read + build) per submitted task.
+        self._build_hist = None
+        if metrics is not None:
+            self._build_hist = metrics.histogram_family(
+                "index_node_build", ("node",),
+                help="index build duration (read + build)",
+                unit="ms").labels(node=name)
 
     def queue_depth_ms(self) -> float:
         """Virtual time until this node is free (scheduling signal)."""
@@ -133,6 +142,8 @@ class IndexNode:
 
         self._loop.call_at(done_ms, announce,
                            name=f"index-done:{segment_id}/{field}")
+        if self._build_hist is not None:
+            self._build_hist.observe(read_ms + build_ms)
         return done_ms
 
     def load_index(self, collection: str, segment_id: str,

@@ -90,6 +90,19 @@ class Proxy:
             "proxy.multivector_latency")
         self._range_latency = self.metrics.latency(
             "proxy.range_search_latency")
+        # Labeled histogram families: cumulative, mergeable across proxies
+        # (the exposition endpoint serves both the per-proxy series and the
+        # cluster aggregate, e.g. ``search_latency_p99``).
+        self._search_hist = self.metrics.histogram_family(
+            "search_latency", ("proxy",),
+            help="end-to-end search latency", unit="ms").labels(proxy=name)
+        self._wait_hist = self.metrics.histogram_family(
+            "consistency_wait", ("proxy",),
+            help="delta-consistency wait before fan-out",
+            unit="ms").labels(proxy=name)
+        self._merge_hist = self.metrics.histogram_family(
+            "proxy_merge", ("proxy",),
+            help="global top-k merge time", unit="ms").labels(proxy=name)
         self._session_ts = 0
         # Request batching (Section 3.6): same-typed searches accumulated
         # within the configured window, executed as one batch.
@@ -232,6 +245,9 @@ class Proxy:
                         latency_ms=latency, consistency_wait_ms=wait_ms,
                         segments_searched=segments_total))
                 self._search_latency.record(self._loop.now(), latency)
+                self._search_hist.observe(latency)
+                self._wait_hist.observe(wait_ms)
+                self._merge_hist.observe(merge_ms)
                 self._searches_counter.inc(queries.shape[0])
                 return results
         finally:
@@ -290,6 +306,8 @@ class Proxy:
                     nodes=len(nodes))
                 self._tracer.finish_span(root, end_ms=done_ms)
                 self._multivector_latency.record(self._loop.now(), latency)
+                self._wait_hist.observe(wait_ms)
+                self._merge_hist.observe(merge_ms)
                 return SearchResult(hits=merge_topk(partials, k).to_hits(),
                                     metric=query.metric,
                                     latency_ms=latency,
@@ -405,6 +423,7 @@ class Proxy:
                     nodes=len(plan))
                 self._tracer.finish_span(root, end_ms=done_ms)
                 self._range_latency.record(self._loop.now(), latency)
+                self._wait_hist.observe(wait_ms)
                 return SearchResult(hits=ordered, metric=metric,
                                     latency_ms=latency,
                                     consistency_wait_ms=wait_ms,

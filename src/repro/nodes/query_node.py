@@ -55,7 +55,8 @@ class QueryNode:
     def __init__(self, name: str, loop: EventLoop, broker: LogBroker,
                  store: ObjectStore, config: ManuConfig,
                  cost_model: CostModel, schema_provider,
-                 tracer: Optional[TraceCollector] = None) -> None:
+                 tracer: Optional[TraceCollector] = None,
+                 metrics=None) -> None:
         self.name = name
         self._loop = loop
         self._broker = broker
@@ -86,6 +87,14 @@ class QueryNode:
         self.busy_until_ms = 0.0
         self.searches_served = 0
         self.alive = True
+        # Optional repro.monitoring.MetricsRegistry (duck-typed): local
+        # scan service time, labeled by node for cross-node comparison.
+        self._scan_hist = None
+        if metrics is not None:
+            self._scan_hist = metrics.histogram_family(
+                "query_node_scan", ("node",),
+                help="node-local scan service time",
+                unit="ms").labels(node=name)
 
     # ------------------------------------------------------------------
     # log consumption
@@ -371,6 +380,8 @@ class QueryNode:
                 parent=trace_span.context, start_ms=cursor_ms,
                 end_ms=cursor_ms + reduce_ms, segments=searched)
         self.searches_served += nq
+        if self._scan_hist is not None:
+            self._scan_hist.observe(service_ms)
         return merged, service_ms, searched
 
     def search_multivector(self, collection: str, query: MultiVectorQuery,

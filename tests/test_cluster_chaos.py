@@ -127,6 +127,77 @@ def test_chaos_schedule_against_model(seed, monkeypatch):
         assert all(pk in model for pk in result.pks)
 
 
+def test_kill_query_node_fires_alert_with_flight_bundle():
+    """Acceptance: killing a query node mid-workload flips its health to
+    down within one heartbeat interval, fires the health alert, and the
+    flight bundle captures the health map, non-zero per-channel lag
+    gauges and at least one sampled trace.  The exposition endpoint must
+    carry the lag and latency series throughout."""
+    from repro.config import MonitoringConfig
+    from repro.monitoring import HealthState, parse_exposition
+
+    rng = np.random.default_rng(3)
+    config = ManuConfig(monitoring=MonitoringConfig(
+        telemetry_interval_ms=50.0,
+        alert_rules=(("cluster-down", "component_health.max >= 2"),)))
+    cluster = ManuCluster(config=config, num_query_nodes=2,
+                          num_index_nodes=1)
+    schema = CollectionSchema([
+        FieldSchema("vector", DataType.FLOAT_VECTOR, dim=12)])
+    cluster.create_collection("chaos", schema)
+    cluster.insert("chaos", {
+        "vector": rng.standard_normal((100, 12)).astype(np.float32)})
+    cluster.run_for(300)
+    cluster.search("chaos", rng.standard_normal(12).astype(np.float32),
+                   5, consistency=ConsistencyLevel.STRONG)
+    assert cluster.health.worst() is HealthState.HEALTHY
+    assert cluster.alerts.firing() == []
+
+    # Mid-workload: a fresh batch is still being delivered down the WAL
+    # channels when the victim dies.
+    cluster.insert("chaos", {
+        "vector": rng.standard_normal((300, 12)).astype(np.float32)})
+    victim = cluster.query_coord.node_names[0]
+    heartbeat = cluster.health.heartbeat_interval_ms
+    before = cluster.now()
+    cluster.fail_query_node(victim)
+
+    # The coordinator observed the failure: down immediately, well
+    # within one heartbeat interval.
+    assert cluster.health.state(f"query-node:{victim}") \
+        is HealthState.DOWN
+    assert cluster.now() - before < heartbeat
+
+    # The next telemetry tick evaluates the rule and trips the recorder.
+    cluster.run_for(100)
+    assert "cluster-down" in cluster.alerts.firing()
+    bundle = cluster.flight_recorder.last()
+    assert bundle is not None
+    assert bundle["reason"] == "alert:cluster-down"
+    assert bundle["health"][f"query-node:{victim}"] == "down"
+    lag_keys = {key: value for key, value in bundle["metrics"].items()
+                if key.startswith("wal_subscriber_lag{")}
+    assert lag_keys, "bundle must carry per-channel lag gauges"
+    assert any(value > 0 for value in lag_keys.values()), \
+        "handoff replay must show as non-zero subscriber lag"
+    assert bundle["traces"], "bundle must include sampled traces"
+
+    # The exposition still parses and carries the acceptance series.
+    series = parse_exposition(
+        cluster.metrics.expose_text(cluster.now()))
+    assert ("search_latency_p99", ()) in series
+    assert any(name == "wal_subscriber_lag"
+               and any(key == "channel" for key, _ in labels)
+               for name, labels in series)
+
+    # The cluster still serves searches after recovery.
+    cluster.run_for(500)
+    result = cluster.search(
+        "chaos", rng.standard_normal(12).astype(np.float32), 5,
+        consistency=ConsistencyLevel.STRONG)[0]
+    assert result.pks
+
+
 def test_killed_node_trace_incomplete_retry_complete():
     """Spans of a query node killed mid-request are marked incomplete;
     the retried request produces a fresh, complete trace."""

@@ -12,7 +12,9 @@ from repro.monitoring import dashboard
 from repro.monitoring.metrics import (
     Counter,
     Gauge,
+    Histogram,
     LatencyWindow,
+    MetricFamily,
     MetricsRegistry,
 )
 
@@ -38,6 +40,137 @@ class TestGauge:
         assert gauge.value == 10.0
         gauge.add(-3.5)
         assert gauge.value == 6.5
+
+
+class TestHistogram:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((5.0, 1.0))
+
+    def test_observe_buckets_and_overflow(self):
+        hist = Histogram((1.0, 10.0))
+        for value in (0.5, 1.0, 3.0, 50.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [2, 1, 1]  # le=1, le=10, +inf
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(54.5)
+        assert hist.mean == pytest.approx(54.5 / 4)
+
+    def test_empty_percentile_is_none(self):
+        hist = Histogram()
+        assert hist.percentile(99) is None
+        assert hist.mean is None
+
+    def test_percentile_clamps_to_observed_range(self):
+        hist = Histogram((2.5, 5.0))
+        hist.observe(3.0)  # lone sample in the (2.5, 5] bucket
+        assert hist.percentile(99) == pytest.approx(3.0)
+        assert hist.percentile(0) == pytest.approx(3.0)
+
+    def test_percentile_orders_buckets(self):
+        hist = Histogram((10.0, 20.0, 30.0))
+        for value in [5.0] * 90 + [25.0] * 10:
+            hist.observe(value)
+        p50 = hist.percentile(50)
+        p99 = hist.percentile(99)
+        assert p50 <= 10.0
+        assert 20.0 <= p99 <= 25.0
+
+    def test_merge_adds_counts(self):
+        a, b = Histogram((1.0, 10.0)), Histogram((1.0, 10.0))
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(100.0)
+        merged = a.merge(b)
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(105.5)
+        assert merged.bucket_counts == [1, 1, 1]
+        # operands are untouched
+        assert a.count == 1 and b.count == 2
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).merge(Histogram((2.0,)))
+
+    def test_merged_of_none(self):
+        assert Histogram.merged([]) is None
+
+    def test_cumulative_buckets_end_with_inf(self):
+        hist = Histogram((1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(99.0)
+        buckets = hist.cumulative_buckets()
+        assert buckets == [(1.0, 1), (10.0, 1), (float("inf"), 2)]
+
+
+class TestMetricFamily:
+    def test_labels_get_or_create(self):
+        family = MetricFamily("lag", "gauge", ("channel",))
+        child = family.labels(channel="wal/c/shard-0")
+        assert family.labels(channel="wal/c/shard-0") is child
+        assert len(family) == 1
+        family.labels(channel="wal/c/shard-1")
+        assert len(family) == 2
+
+    def test_label_schema_enforced(self):
+        family = MetricFamily("lag", "gauge", ("channel",))
+        with pytest.raises(ValueError):
+            family.labels(chan="x")
+        with pytest.raises(ValueError):
+            family.labels()
+
+    def test_samples_sorted(self):
+        family = MetricFamily("lag", "gauge", ("channel",))
+        family.labels(channel="b").set(2.0)
+        family.labels(channel="a").set(1.0)
+        rows = list(family.samples())
+        assert [labels["channel"] for labels, _ in rows] == ["a", "b"]
+
+    def test_set_gauges_drops_stale_series(self):
+        family = MetricFamily("lag", "gauge", ("channel", "subscriber"))
+        family.set_gauges({("c1", "s1"): 5.0, ("c1", "s2"): 7.0})
+        assert len(family) == 2
+        family.set_gauges({("c1", "s1"): 3.0})
+        rows = list(family.samples())
+        assert len(rows) == 1
+        assert rows[0][1].value == 3.0
+
+    def test_set_gauges_rejected_on_counter(self):
+        with pytest.raises(ValueError):
+            MetricFamily("n", "counter").set_gauges({(): 1.0})
+
+    def test_aggregate_counter_and_gauge(self):
+        counters = MetricFamily("reqs", "counter", ("proxy",))
+        assert counters.aggregate() is None
+        counters.labels(proxy="p0").inc(3)
+        counters.labels(proxy="p1").inc(5)
+        assert counters.aggregate() == 8.0          # default: sum
+        assert counters.aggregate("max") == 5.0
+        gauges = MetricFamily("depth", "gauge", ("channel",))
+        gauges.labels(channel="a").set(2.0)
+        gauges.labels(channel="b").set(9.0)
+        assert gauges.aggregate() == 9.0            # default: max
+        assert gauges.aggregate("mean") == pytest.approx(5.5)
+
+    def test_aggregate_histogram_percentile(self):
+        family = MetricFamily("lat", "histogram", ("node",))
+        for i in range(10):
+            family.labels(node="n0").observe(1.0 + i * 0.1)
+        family.labels(node="n1").observe(400.0)
+        p99 = family.aggregate("p99")
+        assert p99 > 100.0  # the cross-node merge sees the outlier
+        assert family.aggregate("count") == 11.0
+
+    def test_remove(self):
+        family = MetricFamily("lag", "gauge", ("channel",))
+        family.labels(channel="a")
+        assert family.remove(channel="a") is True
+        assert family.remove(channel="a") is False
+        assert len(family) == 0
 
 
 class TestLatencyWindow:
@@ -76,6 +209,21 @@ class TestLatencyWindow:
         # Out-of-range percentiles clamp instead of indexing out of bounds.
         assert window.percentile(5.0, 200) == 50.0
         assert LatencyWindow().percentile(0.0, 99) is None
+
+    def test_record_prunes_without_reads(self):
+        """Regression: a window that is written but never queried used to
+        grow without bound; record() itself must prune expired samples."""
+        window = LatencyWindow(window_ms=100.0)
+        for t in range(10_000):
+            window.record(float(t), 1.0)
+        # Only the samples inside the trailing 100 ms survive.
+        assert len(window) <= 101
+
+    def test_max_samples_caps_burst_within_window(self):
+        window = LatencyWindow(window_ms=1e9, max_samples=16)
+        for _ in range(1_000):
+            window.record(0.0, 1.0)
+        assert len(window) == 16
 
 
 class TestMetricsRegistry:
@@ -173,6 +321,11 @@ class TestDashboardSmoke:
         assert "COLLECTIONS" in text
         assert "c" in text
         assert "IVF_FLAT" in text
+        # Telemetry-plane panels: cluster health plus the backbone view.
+        assert "cluster health: healthy" in text
+        assert "BACKBONE" in text
+        assert "wal/c/shard-" in text
+        assert "backlog" in text
         # Every line stays within a terminal-ish width.
         assert all(len(line) < 100 for line in text.splitlines())
 
@@ -181,3 +334,22 @@ class TestDashboardSmoke:
         text = dashboard.render(cluster)
         assert "MANU SYSTEM VIEW" in text
         assert "COLLECTIONS" in text
+        assert "cluster health: healthy" in text
+
+    def test_render_shows_down_node_and_firing_alert(self, rng):
+        cluster = ManuCluster(num_query_nodes=2)
+        cluster.alerts.add_rule_text(
+            "node-down", "component_health.max >= 2")
+        schema = CollectionSchema([
+            FieldSchema("vector", DataType.FLOAT_VECTOR, dim=16)])
+        cluster.create_collection("c", schema)
+        cluster.insert("c", {
+            "vector": rng.standard_normal((40, 16)).astype(np.float32)})
+        cluster.run_for(300)
+        victim = cluster.query_coord.node_names[0]
+        cluster.fail_query_node(victim)
+        cluster.run_for(300)
+        text = dashboard.system_view(cluster)
+        assert "cluster health: down" in text
+        assert "FIRING: node-down" in text
+        assert f"{victim:8s} DOWN" in text
