@@ -51,6 +51,14 @@ from repro.errors import (
     StorageError,
     TimeTravelError,
 )
+from repro.race import run_race_sweep
+from repro.sim.clock import (
+    MANU_RACE_ENV,
+    SchedulePolicy,
+    ShuffledSchedulePolicy,
+    race_seed,
+    schedule_policy_from_env,
+)
 from repro.monitoring import (
     AlertRule,
     FlightRecorder,
@@ -90,6 +98,12 @@ __all__ = [
     "NodeNotFound",
     "ClusterStateError",
     "TimeTravelError",
+    "MANU_RACE_ENV",
+    "SchedulePolicy",
+    "ShuffledSchedulePolicy",
+    "race_seed",
+    "schedule_policy_from_env",
+    "run_race_sweep",
     "Span",
     "TraceCollector",
     "TraceContext",

@@ -19,6 +19,8 @@ Rule families (each independently toggleable):
 ``pubsub-topology``         pub/sub call sites match the declared log graph
 ``consistency-discipline``  guarantee ts + ready() wait on every fan-out
 ``resource-discipline``     subscriptions/handles/locks are scoped
+``raceorder-*``             happens-before passes over the scheduled-event
+                            graph (see :mod:`repro.analysis.raceorder`)
 ==========================  ==================================================
 
 The last three are *whole-program* passes over an inter-procedural summary
@@ -38,13 +40,27 @@ code via :func:`run_analysis`.
 from repro.analysis.base import Finding, Rule, Suppression
 from repro.analysis.engine import AnalysisReport, all_rules, run_analysis
 from repro.analysis.pubsub import recover_topology
+from repro.analysis.raceorder import (
+    RACEORDER_DETACHED,
+    RACEORDER_HIDDEN_COUPLING,
+    RACEORDER_RULES,
+    RACEORDER_SHARED_STATE,
+    build_hb_graph,
+    hb_graph_for_root,
+)
 
 __all__ = [
     "AnalysisReport",
     "Finding",
+    "RACEORDER_DETACHED",
+    "RACEORDER_HIDDEN_COUPLING",
+    "RACEORDER_RULES",
+    "RACEORDER_SHARED_STATE",
     "Rule",
     "Suppression",
     "all_rules",
+    "build_hb_graph",
+    "hb_graph_for_root",
     "recover_topology",
     "run_analysis",
 ]

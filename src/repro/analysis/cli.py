@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.engine import all_rules, load_project, run_analysis
 from repro.analysis.pubsub import recover_edges
+from repro.analysis.raceorder import build_hb_graph
 from repro.analysis.topology import topology_to_dict, topology_to_dot
 
 
@@ -144,7 +145,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report.baselined = baselined
 
     if args.format == "json":
-        topo = topology_to_dict(recover_edges(load_project(root)))
+        project = load_project(root)
+        topo = topology_to_dict(recover_edges(project))
         print(json.dumps({
             "root": str(report.root),
             "modules_checked": report.modules_checked,
@@ -157,6 +159,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "baselined": [vars(f)
                           for f in getattr(report, "baselined", [])],
             "topology": topo,
+            "hb_graph": build_hb_graph(project).to_dict(),
         }, indent=2))
         return report.exit_code()
 

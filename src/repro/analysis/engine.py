@@ -21,6 +21,7 @@ from repro.analysis.errhygiene import ErrorHygieneRule
 from repro.analysis.frozen import FrozenRecordRule
 from repro.analysis.layering import LayeringRule
 from repro.analysis.pubsub import PubSubTopologyRule
+from repro.analysis.raceorder import RACEORDER_RULES
 from repro.analysis.resources import ResourceDisciplineRule
 from repro.analysis.timestamps import TimestampDisciplineRule
 
@@ -43,6 +44,8 @@ def all_rules() -> list:
         PubSubTopologyRule(),
         ConsistencyDisciplineRule(),
         ResourceDisciplineRule(),
+        # happens-before passes over the scheduled-event graph (manu-race)
+        *[rule() for rule in RACEORDER_RULES],
     ]
 
 

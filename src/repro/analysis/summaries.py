@@ -151,12 +151,25 @@ class ProjectSummary:
         self.project = project
         self.functions: list[FunctionSummary] = []
         self.by_name: dict[str, list[FunctionSummary]] = {}
-        #: class name -> attribute names statically known to hold a broker.
-        self.broker_attrs: dict[str, set[str]] = {}
+        #: type name -> class name -> attrs statically known to hold that
+        #: type (``LogBroker`` for the pub/sub passes, ``EventLoop`` for
+        #: the raceorder pass).
+        self.typed_attrs: dict[str, dict[str, set[str]]] = {
+            typename: {} for typename in _TRACKED_TYPES}
         for ctx in project.modules:
             self._scan_module(ctx)
         for func in self.functions:
             self.by_name.setdefault(func.name, []).append(func)
+
+    @property
+    def broker_attrs(self) -> dict[str, set[str]]:
+        """class name -> attribute names statically known to hold a broker."""
+        return self.typed_attrs["LogBroker"]
+
+    @property
+    def loop_attrs(self) -> dict[str, set[str]]:
+        """class name -> attribute names statically known to hold a loop."""
+        return self.typed_attrs["EventLoop"]
 
     # ------------------------------------------------------------------
     # extraction
@@ -176,57 +189,79 @@ class ProjectSummary:
                         qualname=f"{prefix}{child.name}")
                     summary.calls = _collect_calls(child)
                     self.functions.append(summary)
-                    self._note_broker_attrs(child, class_name)
+                    self._note_typed_attrs(child, class_name)
                     visit(child, class_name,
                           f"{prefix}{child.name}.")
+                else:
+                    # Descend through plain statements (loops, with,
+                    # try, if) so nested defs inside them are summarized
+                    # too — scheduled closures often live in a loop body.
+                    visit(child, class_name, prefix)
 
         visit(ctx.tree, None, "")
 
-    def _note_broker_attrs(self, func: ast.AST,
-                           class_name: Optional[str]) -> None:
-        """Record ``self.X = <broker>`` assignments made inside methods."""
+    def _note_typed_attrs(self, func: ast.AST,
+                          class_name: Optional[str]) -> None:
+        """Record ``self.X = <tracked type>`` assignments inside methods."""
         if class_name is None:
             return
-        broker_params = _broker_annotated_params(func)
-        for node in ast.walk(func):
-            if not isinstance(node, ast.Assign):
-                continue
-            value_is_broker = (
-                (isinstance(node.value, ast.Name)
-                 and node.value.id in broker_params)
-                or _is_broker_constructor(node.value))
-            if not value_is_broker:
-                continue
-            for target in node.targets:
-                if (isinstance(target, ast.Attribute)
-                        and isinstance(target.value, ast.Name)
-                        and target.value.id == "self"):
-                    self.broker_attrs.setdefault(class_name, set()).add(
-                        target.attr)
+        for typename in _TRACKED_TYPES:
+            typed_params = _typed_annotated_params(func, typename)
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Assign):
+                    continue
+                value_is_typed = (
+                    (isinstance(node.value, ast.Name)
+                     and node.value.id in typed_params)
+                    or _is_constructor(node.value, typename))
+                if not value_is_typed:
+                    continue
+                for target in node.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        self.typed_attrs[typename].setdefault(
+                            class_name, set()).add(target.attr)
 
     # ------------------------------------------------------------------
-    # broker typing
+    # static typing of receivers
     # ------------------------------------------------------------------
 
-    def is_broker_receiver(self, site: CallSite,
-                           func: FunctionSummary) -> bool:
-        """Whether a call site's receiver statically holds a LogBroker."""
+    def is_typed_receiver(self, site: CallSite, func: FunctionSummary,
+                          typename: str) -> bool:
+        """Whether a call site's receiver statically holds ``typename``.
+
+        Recognised shapes: ``self.<attr>`` where the attribute was noted
+        by :meth:`_note_typed_attrs`, a bare name that is a
+        ``typename``-annotated parameter, and a bare name locally bound
+        from ``typename(...)``.
+        """
         recv = site.receiver
         if len(recv) == 2 and recv[0] == "self":
-            return recv[1] in self.broker_attrs.get(
+            return recv[1] in self.typed_attrs[typename].get(
                 func.class_name or "", set())
         if len(recv) == 1 and recv[0] not in ("self", OPAQUE):
             name = recv[0]
-            if name in _broker_annotated_params(func.node):
+            if name in _typed_annotated_params(func.node, typename):
                 return True
             for node in ast.walk(func.node):
                 if isinstance(node, ast.Assign) \
-                        and _is_broker_constructor(node.value):
+                        and _is_constructor(node.value, typename):
                     for target in node.targets:
                         if isinstance(target, ast.Name) \
                                 and target.id == name:
                             return True
         return False
+
+    def is_broker_receiver(self, site: CallSite,
+                           func: FunctionSummary) -> bool:
+        """Whether a call site's receiver statically holds a LogBroker."""
+        return self.is_typed_receiver(site, func, "LogBroker")
+
+    def is_loop_receiver(self, site: CallSite,
+                         func: FunctionSummary) -> bool:
+        """Whether a call site's receiver statically holds an EventLoop."""
+        return self.is_typed_receiver(site, func, "EventLoop")
 
     # ------------------------------------------------------------------
     # call-graph helpers
@@ -252,6 +287,64 @@ class ProjectSummary:
 
     def candidates(self, name: str) -> list[FunctionSummary]:
         return self.by_name.get(name, [])
+
+    # ------------------------------------------------------------------
+    # callback resolution (raceorder pass)
+    # ------------------------------------------------------------------
+
+    def resolve_callback(self, expr: ast.AST, func: FunctionSummary,
+                         ) -> list[FunctionSummary]:
+        """Function summaries a callback expression can invoke.
+
+        Handles the shapes the scheduled-event graph actually uses:
+        ``self.method``, a bare name (module-level function, a nested
+        ``def`` inside ``func``, or a local lambda binding), an inline
+        ``lambda`` (resolved through the calls in its body), and
+        ``functools.partial(target, ...)``.
+        """
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) \
+                    and expr.value.id == "self":
+                return self._same_class_methods(func, expr.attr)
+            return []
+        if isinstance(expr, ast.Name):
+            return self._resolve_callback_name(expr.id, func)
+        if isinstance(expr, ast.Lambda):
+            out: list[FunctionSummary] = []
+            for node in ast.walk(expr.body):
+                if isinstance(node, ast.Call):
+                    out.extend(self.resolve_callback(node.func, func))
+            return out
+        if isinstance(expr, ast.Call):
+            chain = receiver_chain(expr.func)
+            if chain[-1] == "partial" and expr.args:
+                return self.resolve_callback(expr.args[0], func)
+        return []
+
+    def _same_class_methods(self, func: FunctionSummary,
+                            name: str) -> list[FunctionSummary]:
+        return [f for f in self.candidates(name)
+                if f.ctx is func.ctx and f.class_name == func.class_name]
+
+    def _resolve_callback_name(self, name: str, func: FunctionSummary,
+                               ) -> list[FunctionSummary]:
+        # A nested ``def`` of the enclosing function wins over a
+        # same-named module-level function.
+        nested = [f for f in self.candidates(name)
+                  if f.ctx is func.ctx
+                  and f.qualname == f"{func.qualname}.{name}"]
+        if nested:
+            return nested
+        # A local ``name = lambda: ...`` binding.
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Assign) \
+                    and isinstance(node.value, ast.Lambda) \
+                    and any(isinstance(t, ast.Name) and t.id == name
+                            for t in node.targets):
+                return self.resolve_callback(node.value, func)
+        return [f for f in self.candidates(name)
+                if f.ctx is func.ctx and f.class_name is None
+                and f.qualname == name]
 
     # ------------------------------------------------------------------
     # channel resolution
@@ -399,36 +492,45 @@ def _collect_calls(func: ast.AST) -> list[CallSite]:
     return out
 
 
-def _annotation_mentions_broker(annotation: Optional[ast.AST]) -> bool:
+#: types whose ``self.<attr>`` slots the summary tracks statically.
+_TRACKED_TYPES = ("LogBroker", "EventLoop")
+
+
+def _annotation_mentions(annotation: Optional[ast.AST],
+                         typename: str) -> bool:
     if annotation is None:
         return False
     if isinstance(annotation, ast.Name):
-        return annotation.id == "LogBroker"
+        return annotation.id == typename
     if isinstance(annotation, ast.Attribute):
-        return annotation.attr == "LogBroker"
+        return annotation.attr == typename
     if isinstance(annotation, ast.Constant) \
             and isinstance(annotation.value, str):
-        return "LogBroker" in annotation.value
+        return typename in annotation.value
     if isinstance(annotation, ast.Subscript):  # Optional[LogBroker], ...
-        return any(_annotation_mentions_broker(n)
+        return any(_annotation_mentions(n, typename)
                    for n in ast.walk(annotation.slice))
     return False
 
 
-def _broker_annotated_params(func: ast.AST) -> set[str]:
+def _typed_annotated_params(func: ast.AST, typename: str) -> set[str]:
     args = getattr(func, "args", None)
     if args is None:
         return set()
     return {a.arg
             for a in args.posonlyargs + args.args + args.kwonlyargs
-            if _annotation_mentions_broker(a.annotation)}
+            if _annotation_mentions(a.annotation, typename)}
 
 
-def _is_broker_constructor(expr: ast.AST) -> bool:
+def _broker_annotated_params(func: ast.AST) -> set[str]:
+    return _typed_annotated_params(func, "LogBroker")
+
+
+def _is_constructor(expr: ast.AST, typename: str) -> bool:
     if not isinstance(expr, ast.Call):
         return False
     chain = receiver_chain(expr.func)
-    return chain[-1] == "LogBroker"
+    return chain[-1] == typename
 
 
 def _target_binds(target: ast.AST, name: str) -> bool:

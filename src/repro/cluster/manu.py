@@ -50,6 +50,7 @@ from repro.nodes.data_node import DataNode
 from repro.nodes.index_node import IndexNode
 from repro.nodes.proxy import Proxy
 from repro.nodes.query_node import QueryNode
+from repro.sim.clock import SchedulePolicy
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.events import EventLoop
 from repro.storage.metastore import MetaStore
@@ -68,11 +69,15 @@ class ManuCluster:
                  num_proxies: int = 1,
                  num_loggers: int = 2,
                  store_backend: Optional[Backend] = None,
-                 enable_wal_archive: bool = False) -> None:
+                 enable_wal_archive: bool = False,
+                 schedule_policy: Optional[SchedulePolicy] = None) -> None:
         self.config = config if config is not None else DEFAULT_CONFIG
         self.cost_model = (cost_model if cost_model is not None
                            else DEFAULT_COST_MODEL)
-        self.loop = EventLoop()
+        # ``schedule_policy=None`` defers to MANU_RACE (FIFO when unset);
+        # the broker reads the same policy off the loop, so one argument
+        # arms the whole cluster's schedule-shuffle sanitizer.
+        self.loop = EventLoop(policy=schedule_policy)
         self.tso = TimestampOracle(self.loop.now)
         # The tracer sits beside the metrics registry: one shared collector
         # threaded through the broker and every instrumented component.
@@ -610,6 +615,11 @@ class ManuCluster:
     @property
     def num_query_nodes(self) -> int:
         return len(self.query_coord.live_nodes())
+
+    @property
+    def schedule_policy(self) -> SchedulePolicy:
+        """The same-timestamp ordering policy this cluster runs under."""
+        return self.loop.policy
 
     # ------------------------------------------------------------------
     # introspection

@@ -9,10 +9,20 @@ so log propagation time is visible to the timing experiments.
 The broker retains all entries until ``truncate`` (log expiration, used by
 time travel's retention policy), so any new subscriber can replay history —
 the property the paper's failure recovery and stream indexing rely on.
+
+Delivery ordering contract (the reorder bounds the ``raceorder`` static
+pass and the ``MANU_RACE`` sanitizer both work to): entries of one channel
+reach each subscription strictly in offset order, always; the *relative*
+timing of flushes to different subscriptions is undefined within one
+delivery-delay window.  The attached loop's
+:class:`~repro.sim.clock.SchedulePolicy` may therefore stretch each flush's
+delay (seeded jitter) and permute same-timestamp flushes, but can never
+reorder one subscriber's entries.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
@@ -99,6 +109,9 @@ class LogBroker:
             manu_check = os.environ.get("MANU_CHECK", "") not in ("", "0")
         self.manu_check = manu_check
         self._check_high_ts: dict[str, int] = {}
+        # Monotone counter feeding the schedule policy's delivery jitter;
+        # deterministic, so a MANU_RACE seed replays the same jitters.
+        self._flush_seq = itertools.count()
 
     # ------------------------------------------------------------------
     # channel management
@@ -245,7 +258,12 @@ class LogBroker:
                 self._deliver(sub)
 
         if self._loop is not None:
-            self._loop.call_after(self.delivery_delay_ms, flush,
+            # The policy may stretch (never shrink) the delay: flushes to
+            # different subscriptions then land in perturbed order while
+            # this subscription still drains its channel in offset order.
+            delay = self._loop.policy.delivery_delay_ms(
+                self.delivery_delay_ms, sub.name, next(self._flush_seq))
+            self._loop.call_after(delay, flush,
                                   name=f"log-delivery:{sub.name}")
         else:
             flush()

@@ -1,0 +1,53 @@
+"""manu-race dynamic head: the seeded schedule-shuffle sanitizer.
+
+The virtual-time cluster is deterministic, but determinism cuts both ways:
+the event loop only ever executes *one* legal interleaving of same-tick
+events, so a handler that silently depends on its neighbours' order passes
+every test.  This package perturbs that order — reproducibly — and checks
+that the *outcome* does not move:
+
+* :class:`~repro.sim.clock.ShuffledSchedulePolicy` (armed cluster-wide by
+  ``MANU_RACE=<seed>``) permutes same-timestamp execution order and
+  jitters broker delivery flushes within the declared reorder bounds
+  (per-subscription offset order is never violated);
+* :func:`run_race_sweep` executes one deterministic chaos scenario under a
+  FIFO baseline plus N seeds and diffs the final *semantic* cluster state
+  (live rows, strong-consistency search results, point reads, health) —
+  identifier-level differences (segment ids, LSN values) are expected and
+  ignored;
+* ``python -m repro.race`` is the CI face: exit 1 names the offending
+  seeds and dumps each divergent schedule trace for replay.
+
+A divergence report means: re-run with ``MANU_RACE=<seed>`` and the same
+scenario, and the failure reproduces deterministically.
+"""
+
+from repro.race.runner import (
+    RaceSweepReport,
+    SeedOutcome,
+    cluster_fingerprint,
+    diff_fingerprints,
+    run_chaos_scenario,
+    run_race_sweep,
+)
+from repro.sim.clock import (
+    MANU_RACE_ENV,
+    SchedulePolicy,
+    ShuffledSchedulePolicy,
+    race_seed,
+    schedule_policy_from_env,
+)
+
+__all__ = [
+    "MANU_RACE_ENV",
+    "RaceSweepReport",
+    "SchedulePolicy",
+    "SeedOutcome",
+    "ShuffledSchedulePolicy",
+    "cluster_fingerprint",
+    "diff_fingerprints",
+    "race_seed",
+    "run_chaos_scenario",
+    "run_race_sweep",
+    "schedule_policy_from_env",
+]

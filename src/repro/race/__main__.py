@@ -1,0 +1,109 @@
+"""CLI for the schedule-shuffle race sweep.
+
+Usage::
+
+    python -m repro.race --seeds 5                 # seeds 0..4 + baseline
+    python -m repro.race --seed-list 7,11,42       # explicit seeds
+    python -m repro.race --steps 40 --trace-dir out/  # dump schedules
+    MANU_RACE=11 python -m repro.race --seed-list 11  # replay one seed
+
+Exit status 0 when every seed's semantic fingerprint matches the FIFO
+baseline; 1 on any divergence or crashed run.  With ``--trace-dir`` the
+executed-event schedule of the baseline and every *divergent* seed is
+written as ``schedule-<label>.txt`` for offline diffing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.race.runner import RaceSweepReport, SeedOutcome, run_race_sweep
+
+
+def _parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.race",
+        description="Run the chaos scenario under shuffled schedules and "
+                    "diff final cluster state against the FIFO baseline.")
+    parser.add_argument("--seeds", type=int, default=5,
+                        help="number of seeds to sweep (0..N-1)")
+    parser.add_argument("--seed-list", type=str, default=None,
+                        help="comma-separated explicit seeds "
+                             "(overrides --seeds)")
+    parser.add_argument("--steps", type=int, default=30,
+                        help="chaos scenario length in operations")
+    parser.add_argument("--trace-dir", type=str, default=None,
+                        help="directory for schedule-trace artifacts")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON on stdout")
+    return parser.parse_args(argv)
+
+
+def _write_trace(trace_dir: str, outcome: SeedOutcome) -> str:
+    os.makedirs(trace_dir, exist_ok=True)
+    path = os.path.join(trace_dir, f"schedule-{outcome.label}.txt"
+                        .replace("=", "-"))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# schedule trace: {outcome.label} "
+                 f"({outcome.executed_events} events)\n")
+        fh.write("# time_ms\tseq\tname\n")
+        for time_ms, seq, name in outcome.schedule_trace:
+            fh.write(f"{time_ms:.3f}\t{seq}\t{name}\n")
+    return path
+
+
+def _report_text(report: RaceSweepReport) -> str:
+    lines = []
+    base = report.baseline
+    if base.error is not None:
+        lines.append(f"baseline ({base.label}) CRASHED: {base.error}")
+    else:
+        lines.append(f"baseline ({base.label}): "
+                     f"{base.executed_events} events, "
+                     f"{base.fingerprint['row_count']} live rows")
+    for outcome in report.outcomes:
+        diffs = report.divergent.get(outcome.seed)
+        if diffs is None:
+            lines.append(f"  {outcome.label}: OK "
+                         f"({outcome.executed_events} events)")
+        else:
+            lines.append(f"  {outcome.label}: DIVERGED "
+                         f"(reproduce with MANU_RACE={outcome.seed})")
+            for diff in diffs:
+                lines.append(f"    - {diff}")
+    verdict = "PASS" if report.ok else "FAIL"
+    lines.append(f"race sweep: {verdict} "
+                 f"({len(report.outcomes)} seeds, "
+                 f"{len(report.divergent)} divergent)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    if args.seed_list:
+        seeds = [int(part, 0) for part in args.seed_list.split(",")
+                 if part.strip()]
+    else:
+        seeds = list(range(args.seeds))
+    trace = args.trace_dir is not None
+    report = run_race_sweep(seeds, steps=args.steps, trace=trace)
+
+    if trace:
+        paths = [_write_trace(args.trace_dir, report.baseline)]
+        for outcome in report.outcomes:
+            if outcome.seed in report.divergent:
+                paths.append(_write_trace(args.trace_dir, outcome))
+        print("schedule traces: " + ", ".join(paths), file=sys.stderr)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(_report_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,14 @@
 """Discrete-event loop driving the virtual-time cluster.
 
-The loop is a priority queue of ``(time, sequence, callback)`` entries.  The
-sequence number makes simultaneous events fire in scheduling order, which
-keeps every run fully deterministic.  Events can be cancelled (for example a
-segment's idle-seal timer is cancelled when a new insert arrives) and
-periodic events reschedule themselves until cancelled.
+The loop is a priority queue of ``(time, tiebreak, sequence, callback)``
+entries.  Under the default FIFO :class:`~repro.sim.clock.SchedulePolicy`
+the tie-break equals the sequence number, so simultaneous events fire in
+scheduling order and every run is fully deterministic.  With the
+``MANU_RACE=<seed>`` shuffle policy the tie-break is a seeded permutation:
+same-timestamp events run in a reproducible but perturbed order, which is
+how order-dependent bugs are flushed out (DESIGN.md §6e).  Events can be
+cancelled (for example a segment's idle-seal timer is cancelled when a new
+insert arrives) and periodic events reschedule themselves until cancelled.
 """
 
 from __future__ import annotations
@@ -13,18 +17,24 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
-from repro.sim.clock import VirtualClock
+from repro.sim.clock import (
+    SchedulePolicy,
+    VirtualClock,
+    schedule_policy_from_env,
+)
 
 
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time_ms", "seq", "callback", "cancelled", "name")
+    __slots__ = ("time_ms", "tiebreak", "seq", "callback", "cancelled",
+                 "name")
 
     def __init__(self, time_ms: float, seq: int, callback: Callable[[], None],
-                 name: str = "") -> None:
+                 name: str = "", tiebreak: Optional[int] = None) -> None:
         self.time_ms = time_ms
         self.seq = seq
+        self.tiebreak = seq if tiebreak is None else tiebreak
         self.callback = callback
         self.cancelled = False
         self.name = name
@@ -34,7 +44,8 @@ class Event:
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time_ms, self.seq) < (other.time_ms, other.seq)
+        return (self.time_ms, self.tiebreak, self.seq) \
+            < (other.time_ms, other.tiebreak, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -49,11 +60,21 @@ class EventLoop:
     entirely.  Callbacks may schedule further events.
     """
 
-    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+    def __init__(self, clock: Optional[VirtualClock] = None,
+                 policy: Optional[SchedulePolicy] = None) -> None:
         self.clock = clock if clock is not None else VirtualClock()
+        # ``None`` defers to MANU_RACE so existing call sites pick up the
+        # sanitizer without plumbing (same pattern as MANU_CHECK).
+        self.policy = policy if policy is not None \
+            else schedule_policy_from_env()
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._executed = 0
+        # Executed-event trace for seed forensics: the race runner sets
+        # this to a list and every executed event appends
+        # ``(time_ms, seq, name)`` — the schedule artifact a failing seed
+        # uploads so the offending interleaving can be read back.
+        self.schedule_log: Optional[list[tuple[float, int, str]]] = None
 
     @property
     def executed_events(self) -> int:
@@ -73,7 +94,9 @@ class EventLoop:
         react to messages whose logical timestamp already passed.
         """
         t_ms = max(t_ms, self.clock.now())
-        event = Event(t_ms, next(self._seq), callback, name)
+        seq = next(self._seq)
+        event = Event(t_ms, seq, callback, name,
+                      tiebreak=self.policy.tiebreak(seq))
         heapq.heappush(self._queue, event)
         return event
 
@@ -122,6 +145,9 @@ class EventLoop:
             if event.cancelled:
                 continue
             self.clock.advance_to(event.time_ms)
+            if self.schedule_log is not None:
+                self.schedule_log.append(
+                    (event.time_ms, event.seq, event.name))
             event.callback()
             self._executed += 1
             return True

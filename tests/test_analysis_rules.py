@@ -438,7 +438,9 @@ class TestEngineAndCli:
         assert sorted(rule.id for rule in all_rules()) == [
             "consistency-discipline", "determinism", "error-hygiene",
             "frozen-record", "layering", "pubsub-topology",
-            "resource-discipline", "timestamp-discipline"]
+            "raceorder-detached", "raceorder-hidden-coupling",
+            "raceorder-shared-state", "resource-discipline",
+            "timestamp-discipline"]
 
     def test_cli_exit_codes(self, tmp_path, capsys):
         from repro.analysis.cli import main

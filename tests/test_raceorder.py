@@ -1,0 +1,365 @@
+"""Unit tests for the raceorder happens-before pass (manu-race static head).
+
+Fixture trees exercise each rule: a known same-tick race that must fire,
+ordered counterparts (scheduler edge, publish->deliver edge) that must
+stay silent, hidden-coupling and detached fixtures, and determinism /
+real-repo-clean checks on the HB graph builder itself.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import run_analysis
+from repro.analysis.engine import load_project
+from repro.analysis.raceorder import (
+    RACEORDER_DETACHED,
+    RACEORDER_HIDDEN_COUPLING,
+    RACEORDER_SHARED_STATE,
+    build_hb_graph,
+)
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def make_tree(tmp_path, files):
+    root = tmp_path / "repro_root"
+    for relpath, source in files.items():
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def lint(tmp_path, files, rule=None):
+    return run_analysis(make_tree(tmp_path, files),
+                        select=[rule] if rule else None)
+
+
+def findings_at(report, rule):
+    return [(f.path, f.line) for f in report.findings if f.rule == rule]
+
+
+#: two delivery handlers on different channel groups mutating the same
+#: dict with no ordering edge — the canonical same-tick race.
+RACY_NODE = """
+from repro.log.broker import LogBroker
+
+class Node:
+    def __init__(self, broker: LogBroker) -> None:
+        self._broker = broker
+        self._state = {}
+        self._broker.subscribe("wal/c/shard-0", "n", 0,
+                               callback=self._on_data)
+        self._broker.subscribe("wal/coord", "nc", 0,
+                               callback=self._on_ctrl)
+
+    def _on_data(self, entry) -> None:
+        self._state[entry.offset] = entry.payload
+
+    def _on_ctrl(self, entry) -> None:
+        self._state.clear()
+"""
+
+
+class TestSharedStateRule:
+    def test_unordered_conflicting_handlers_fire(self, tmp_path):
+        report = lint(tmp_path, {"nodes/node.py": RACY_NODE},
+                      rule=RACEORDER_SHARED_STATE)
+        found = findings_at(report, RACEORDER_SHARED_STATE)
+        assert len(found) == 1
+        assert found[0][0] == "nodes/node.py"
+        message = report.findings[0].message
+        assert "_on_ctrl" in message and "_on_data" in message
+        assert "self._state" in message
+
+    def test_scheduler_edge_orders_the_pair(self, tmp_path):
+        # _on_data schedules _drain: every _drain instance runs after the
+        # _on_data that scheduled it, so the pair is ordered and silent.
+        report = lint(tmp_path, {"nodes/node.py": """
+            from repro.log.broker import LogBroker
+            from repro.sim.events import EventLoop
+
+            class Node:
+                def __init__(self, loop: EventLoop,
+                             broker: LogBroker) -> None:
+                    self._loop = loop
+                    self._broker = broker
+                    self._state = {}
+                    self._broker.subscribe("wal/c/shard-0", "n", 0,
+                                           callback=self._on_data)
+
+                def _on_data(self, entry) -> None:
+                    self._state[entry.offset] = entry.payload
+                    self._loop.call_after(1.0, self._drain)
+
+                def _drain(self) -> None:
+                    self._state.clear()
+            """}, rule=RACEORDER_SHARED_STATE)
+        assert findings_at(report, RACEORDER_SHARED_STATE) == []
+
+    def test_publish_deliver_edge_orders_the_pair(self, tmp_path):
+        # The deferred announce publishes the coord group the second
+        # handler subscribes to: the flush is scheduled at publish time,
+        # so announce precedes the delivery — ordered, silent.
+        report = lint(tmp_path, {"nodes/node.py": """
+            from repro.log.broker import LogBroker
+            from repro.sim.events import EventLoop
+
+            class Node:
+                def __init__(self, loop: EventLoop,
+                             broker: LogBroker) -> None:
+                    self._loop = loop
+                    self._broker = broker
+                    self._acked = {}
+                    self._broker.subscribe("wal/coord", "n", 0,
+                                           callback=self._on_ctrl)
+                    self._loop.call_after(1.0, self._announce)
+
+                def _announce(self) -> None:
+                    self._acked["sent"] = True
+                    self._broker.publish("wal/coord", "done")
+
+                def _on_ctrl(self, entry) -> None:
+                    self._acked[entry.offset] = entry.payload
+            """}, rule=RACEORDER_SHARED_STATE)
+        assert findings_at(report, RACEORDER_SHARED_STATE) == []
+
+    def test_disjoint_state_is_silent(self, tmp_path):
+        report = lint(tmp_path, {"nodes/node.py": """
+            from repro.log.broker import LogBroker
+
+            class Node:
+                def __init__(self, broker: LogBroker) -> None:
+                    self._broker = broker
+                    self._rows = {}
+                    self._acks = {}
+                    self._broker.subscribe("wal/c/shard-0", "n", 0,
+                                           callback=self._on_data)
+                    self._broker.subscribe("wal/coord", "nc", 0,
+                                           callback=self._on_ctrl)
+
+                def _on_data(self, entry) -> None:
+                    self._rows[entry.offset] = entry.payload
+
+                def _on_ctrl(self, entry) -> None:
+                    self._acks[entry.offset] = entry.payload
+            """}, rule=RACEORDER_SHARED_STATE)
+        assert findings_at(report, RACEORDER_SHARED_STATE) == []
+
+    def test_conflict_through_lambda_and_helper(self, tmp_path):
+        # The racy write hides one call deep (helper) behind a lambda
+        # callback; read side is a periodic timer.
+        report = lint(tmp_path, {"nodes/node.py": """
+            from repro.log.broker import LogBroker
+            from repro.sim.events import EventLoop
+
+            class Node:
+                def __init__(self, loop: EventLoop,
+                             broker: LogBroker) -> None:
+                    self._loop = loop
+                    self._broker = broker
+                    self._pending = []
+                    self._broker.subscribe("wal/c/shard-0", "n", 0,
+                                           callback=lambda e:
+                                           self._enqueue(e))
+                    self._loop.call_every(5.0, self._flush)
+
+                def _enqueue(self, entry) -> None:
+                    self._pending.append(entry)
+
+                def _flush(self) -> None:
+                    self._pending = []
+            """}, rule=RACEORDER_SHARED_STATE)
+        found = findings_at(report, RACEORDER_SHARED_STATE)
+        assert len(found) == 1
+
+    def test_suppression_with_reason_is_honoured(self, tmp_path):
+        racy = RACY_NODE.replace(
+            "    def _on_ctrl(self, entry) -> None:",
+            "    # manu-lint: disable=raceorder-shared-state -- both "
+            "orders converge: clear() then insert re-delivers\n"
+            "    def _on_ctrl(self, entry) -> None:")
+        report = lint(tmp_path, {"nodes/node.py": racy},
+                      rule=RACEORDER_SHARED_STATE)
+        assert findings_at(report, RACEORDER_SHARED_STATE) == []
+        assert len(report.suppressed) == 1
+
+
+class TestHiddenCouplingRule:
+    def test_handler_reading_broker_private_state_fires(self, tmp_path):
+        report = lint(tmp_path, {"nodes/node.py": """
+            from repro.log.broker import LogBroker
+
+            class Node:
+                def __init__(self, broker: LogBroker) -> None:
+                    self._broker = broker
+                    self._lag = 0
+                    self._broker.subscribe("wal/c/shard-0", "n", 0,
+                                           callback=self._on_data)
+
+                def _on_data(self, entry) -> None:
+                    self._lag = len(self._broker._channels)
+            """}, rule=RACEORDER_HIDDEN_COUPLING)
+        found = findings_at(report, RACEORDER_HIDDEN_COUPLING)
+        assert len(found) == 1
+        assert "_broker._channels" in report.findings[0].message
+
+    def test_handler_reading_coord_private_state_fires(self, tmp_path):
+        report = lint(tmp_path, {"nodes/node.py": """
+            from repro.log.broker import LogBroker
+
+            class Node:
+                def __init__(self, broker: LogBroker, coord) -> None:
+                    self._broker = broker
+                    self._coord = coord
+                    self.seen = 0
+                    self._broker.subscribe("wal/coord", "n", 0,
+                                           callback=self._on_ctrl)
+
+                def _on_ctrl(self, entry) -> None:
+                    self.seen = len(self._coord._assignments)
+            """}, rule=RACEORDER_HIDDEN_COUPLING)
+        assert len(findings_at(report, RACEORDER_HIDDEN_COUPLING)) == 1
+
+    def test_public_accessor_is_silent(self, tmp_path):
+        report = lint(tmp_path, {"nodes/node.py": """
+            from repro.log.broker import LogBroker
+
+            class Node:
+                def __init__(self, broker: LogBroker) -> None:
+                    self._broker = broker
+                    self._lag = 0
+                    self._broker.subscribe("wal/c/shard-0", "n", 0,
+                                           callback=self._on_data)
+
+                def _on_data(self, entry) -> None:
+                    self._lag = self._broker.end_offset(entry.channel)
+            """}, rule=RACEORDER_HIDDEN_COUPLING)
+        assert findings_at(report, RACEORDER_HIDDEN_COUPLING) == []
+
+    def test_non_handler_code_is_silent(self, tmp_path):
+        # Private reach-ins outside the scheduled-event graph are the
+        # layering/abstraction rules' business, not raceorder's.
+        report = lint(tmp_path, {"nodes/node.py": """
+            from repro.log.broker import LogBroker
+
+            class Admin:
+                def __init__(self, broker: LogBroker) -> None:
+                    self._broker = broker
+
+                def debug_dump(self):
+                    return dict(self._broker._channels)
+            """}, rule=RACEORDER_HIDDEN_COUPLING)
+        assert findings_at(report, RACEORDER_HIDDEN_COUPLING) == []
+
+
+class TestDetachedRule:
+    def test_periodic_publisher_without_detached_fires(self, tmp_path):
+        report = lint(tmp_path, {"log/ticker.py": """
+            from repro.log.broker import LogBroker
+            from repro.sim.events import EventLoop
+
+            class Ticker:
+                def __init__(self, loop: EventLoop,
+                             broker: LogBroker, tracer) -> None:
+                    self._loop = loop
+                    self._broker = broker
+                    self._tracer = tracer
+                    self._loop.call_every(10.0, self._emit)
+
+                def _emit(self) -> None:
+                    self._broker.publish("wal/coord", "tick")
+            """}, rule=RACEORDER_DETACHED)
+        found = findings_at(report, RACEORDER_DETACHED)
+        assert len(found) == 1
+        assert "_emit" in report.findings[0].message
+
+    def test_periodic_publisher_with_detached_is_silent(self, tmp_path):
+        report = lint(tmp_path, {"log/ticker.py": """
+            from repro.log.broker import LogBroker
+            from repro.sim.events import EventLoop
+
+            class Ticker:
+                def __init__(self, loop: EventLoop,
+                             broker: LogBroker, tracer) -> None:
+                    self._loop = loop
+                    self._broker = broker
+                    self._tracer = tracer
+                    self._loop.call_every(10.0, self._emit)
+
+                def _emit(self) -> None:
+                    with self._tracer.detached():
+                        self._broker.publish("wal/coord", "tick")
+            """}, rule=RACEORDER_DETACHED)
+        assert findings_at(report, RACEORDER_DETACHED) == []
+
+    def test_quiet_periodic_handler_is_exempt(self, tmp_path):
+        # Neither publishes nor opens spans: nothing to detach.
+        report = lint(tmp_path, {"log/ticker.py": """
+            from repro.sim.events import EventLoop
+
+            class Beat:
+                def __init__(self, loop: EventLoop) -> None:
+                    self._loop = loop
+                    self.beats = 0
+                    self._loop.call_every(10.0, self._beat)
+
+                def _beat(self) -> None:
+                    self.beats += 1
+            """}, rule=RACEORDER_DETACHED)
+        assert findings_at(report, RACEORDER_DETACHED) == []
+
+
+class TestHBGraphBuilder:
+    def test_graph_recovers_kinds_and_groups(self, tmp_path):
+        root = make_tree(tmp_path, {"nodes/node.py": RACY_NODE})
+        graph = build_hb_graph(load_project(root))
+        handlers = graph.to_dict()["handlers"]
+        data = handlers["nodes/node.py::Node._on_data"]
+        ctrl = handlers["nodes/node.py::Node._on_ctrl"]
+        assert data["kinds"] == ["delivery"]
+        assert data["channel_groups"] == ["wal-shard"]
+        assert ctrl["channel_groups"] == ["coord"]
+        assert "_state" in data["writes"] and "_state" in ctrl["writes"]
+
+    def test_graph_build_is_deterministic(self, tmp_path):
+        root = make_tree(tmp_path, {"nodes/node.py": RACY_NODE})
+        first = build_hb_graph(load_project(root)).to_dict()
+        second = build_hb_graph(load_project(root)).to_dict()
+        assert first == second
+
+    def test_graph_is_cached_per_project(self, tmp_path):
+        root = make_tree(tmp_path, {"nodes/node.py": RACY_NODE})
+        project = load_project(root)
+        assert build_hb_graph(project) is build_hb_graph(project)
+
+    def test_real_repo_graph_has_expected_handlers(self):
+        graph = build_hb_graph(load_project(SRC_ROOT))
+        handlers = graph.to_dict()["handlers"]
+        # Spot checks across the three handler kinds.
+        entry = handlers["nodes/data_node.py::DataNode._on_entry"]
+        assert entry["kinds"] == ["delivery"]
+        assert entry["channel_groups"] == ["wal-shard"]
+        assert "periodic" in handlers[
+            "cluster/manu.py::ManuCluster._housekeeping"]["kinds"]
+        assert "deferred" in handlers[
+            "nodes/data_node.py::DataNode._retry_seal"]["kinds"]
+        # The parked-seal trio conflicts on _pending_seals but is ordered
+        # by scheduler / publish->deliver edges — the protocol's design.
+        coord = "nodes/data_node.py::DataNode._on_coord"
+        retry = "nodes/data_node.py::DataNode._retry_seal"
+        assert graph.reachable(coord, retry)
+
+    def test_real_repo_is_clean_under_strict(self):
+        report = run_analysis(
+            SRC_ROOT,
+            select=[RACEORDER_SHARED_STATE, RACEORDER_HIDDEN_COUPLING,
+                    RACEORDER_DETACHED],
+            strict=True)
+        assert [f.format() for f in report.findings] == []
+        # Every raceorder suppression (if any) carries a justification.
+        for finding, suppression in report.suppressed:
+            if finding.rule.startswith("raceorder-"):
+                assert suppression.reason
