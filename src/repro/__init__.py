@@ -23,6 +23,16 @@ Quickstart::
     print(res[0].pks)
 """
 
+from repro.analysis import (
+    DURABILITY_ACK,
+    DURABILITY_COVERAGE,
+    DURABILITY_REPLAY,
+    DURABILITY_RULES,
+    DURABILITY_UNLOGGED,
+    RecoveryModelError,
+    build_durability_model,
+    durability_model_for_root,
+)
 from repro.api.pymanu import Collection, connect, connections, parse_metric
 from repro.cluster.manu import ManuCluster
 from repro.config import ManuConfig
@@ -71,6 +81,14 @@ from repro.tracing import Span, TraceCollector, TraceContext
 __version__ = "0.1.0"
 
 __all__ = [
+    "DURABILITY_ACK",
+    "DURABILITY_COVERAGE",
+    "DURABILITY_REPLAY",
+    "DURABILITY_RULES",
+    "DURABILITY_UNLOGGED",
+    "RecoveryModelError",
+    "build_durability_model",
+    "durability_model_for_root",
     "Collection",
     "connect",
     "connections",

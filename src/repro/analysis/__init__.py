@@ -21,6 +21,9 @@ Rule families (each independently toggleable):
 ``resource-discipline``     subscriptions/handles/locks are scoped
 ``raceorder-*``             happens-before passes over the scheduled-event
                             graph (see :mod:`repro.analysis.raceorder`)
+``durability-*``            crash-consistency passes over the durability
+                            lifecycle model (see
+                            :mod:`repro.analysis.durability`)
 ==========================  ==================================================
 
 The last three are *whole-program* passes over an inter-procedural summary
@@ -38,6 +41,13 @@ code via :func:`run_analysis`.
 """
 
 from repro.analysis.base import Finding, Rule, Suppression
+from repro.analysis.durability import (
+    DURABILITY_ACK,
+    DURABILITY_COVERAGE,
+    DURABILITY_REPLAY,
+    DURABILITY_RULES,
+    DURABILITY_UNLOGGED,
+)
 from repro.analysis.engine import AnalysisReport, all_rules, run_analysis
 from repro.analysis.pubsub import recover_topology
 from repro.analysis.raceorder import (
@@ -48,19 +58,34 @@ from repro.analysis.raceorder import (
     build_hb_graph,
     hb_graph_for_root,
 )
+from repro.analysis.recovery import (
+    RecoveryModelError,
+    build_durability_model,
+    durability_model_for_root,
+    verify_declared_components,
+)
 
 __all__ = [
     "AnalysisReport",
+    "DURABILITY_ACK",
+    "DURABILITY_COVERAGE",
+    "DURABILITY_REPLAY",
+    "DURABILITY_RULES",
+    "DURABILITY_UNLOGGED",
     "Finding",
     "RACEORDER_DETACHED",
     "RACEORDER_HIDDEN_COUPLING",
     "RACEORDER_RULES",
     "RACEORDER_SHARED_STATE",
+    "RecoveryModelError",
     "Rule",
     "Suppression",
     "all_rules",
+    "build_durability_model",
     "build_hb_graph",
+    "durability_model_for_root",
     "hb_graph_for_root",
     "recover_topology",
     "run_analysis",
+    "verify_declared_components",
 ]

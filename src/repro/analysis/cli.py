@@ -6,10 +6,12 @@ Output formats:
 
 * ``text`` (default) — file:line findings with fix hints;
 * ``json`` — machine-readable report, including the recovered pub/sub
-  topology (the CI artifact);
+  topology, HB graph, and durability model (the CI artifacts);
 * ``github`` — GitHub workflow-annotation lines (``::error file=...``)
   so CI failures annotate PRs inline;
-* ``dot`` — Graphviz digraph of the recovered pub/sub topology only.
+* ``dot`` — Graphviz digraph of the recovered pub/sub topology only;
+* ``dot-durability`` — Graphviz digraph of the recovered durability
+  lifecycle (write entries, replay handlers, field classification).
 
 ``--baseline FILE`` suppresses findings recorded in a baseline file
 (matched by rule+path+message, line numbers ignored so unrelated edits
@@ -28,6 +30,7 @@ from typing import Optional, Sequence
 from repro.analysis.engine import all_rules, load_project, run_analysis
 from repro.analysis.pubsub import recover_edges
 from repro.analysis.raceorder import build_hb_graph
+from repro.analysis.recovery import build_durability_model
 from repro.analysis.topology import topology_to_dict, topology_to_dot
 
 
@@ -55,7 +58,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--disable", action="append", default=None,
                         metavar="RULE", help="skip these rule ids")
     parser.add_argument("--format",
-                        choices=("text", "json", "github", "dot"),
+                        choices=("text", "json", "github", "dot",
+                                 "dot-durability"),
                         default="text",
                         help="output format (default: text)")
     parser.add_argument("--baseline", metavar="FILE", default=None,
@@ -121,6 +125,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(topology_to_dot(recover_edges(load_project(root))), end="")
         return 0
 
+    if args.format == "dot-durability":
+        print(build_durability_model(load_project(root)).to_dot())
+        return 0
+
     try:
         report = run_analysis(root, select=args.select,
                               disable=args.disable, strict=args.strict)
@@ -160,6 +168,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                           for f in getattr(report, "baselined", [])],
             "topology": topo,
             "hb_graph": build_hb_graph(project).to_dict(),
+            "durability": build_durability_model(project).to_dict(),
         }, indent=2))
         return report.exit_code()
 

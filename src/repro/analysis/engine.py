@@ -17,6 +17,7 @@ from typing import Iterable, Optional, Sequence
 from repro.analysis.base import Finding, ModuleContext, Project
 from repro.analysis.consistency import ConsistencyDisciplineRule
 from repro.analysis.determinism import DeterminismRule
+from repro.analysis.durability import DURABILITY_RULES
 from repro.analysis.errhygiene import ErrorHygieneRule
 from repro.analysis.frozen import FrozenRecordRule
 from repro.analysis.layering import LayeringRule
@@ -46,6 +47,8 @@ def all_rules() -> list:
         ResourceDisciplineRule(),
         # happens-before passes over the scheduled-event graph (manu-race)
         *[rule() for rule in RACEORDER_RULES],
+        # crash-consistency passes over the durability model (manu-crash)
+        *[rule() for rule in DURABILITY_RULES],
     ]
 
 

@@ -575,6 +575,173 @@ def _argument_for(call: ast.Call, func: FunctionSummary,
     return None
 
 
+# ----------------------------------------------------------------------
+# return-path domination (durability pass)
+# ----------------------------------------------------------------------
+#
+# The ack-before-durable rule needs a *must* analysis: on every control
+# path that reaches a client-visible completion event (a value return, a
+# future resolution), has a marker call — the WAL publish — already
+# executed?  This is a small abstract interpretation over statement lists
+# with one boolean state: "the marker has executed on all paths reaching
+# here".
+
+
+@dataclass(frozen=True)
+class PathEvent:
+    """A client-visible completion event found by :func:`ack_path_events`.
+
+    ``kind`` is ``"return"`` (a ``return <value>`` statement) or
+    ``"future-result"`` (an assignment to ``<x>.result`` or a
+    ``.set_result(...)`` call).  ``dominated`` is True when a marker call
+    precedes the event on *every* path from function entry.
+    """
+
+    node: ast.AST
+    lineno: int
+    kind: str
+    dominated: bool
+
+
+def _own_calls(node: ast.AST) -> Iterable[ast.Call]:
+    """Call nodes of an expression, excluding nested def/lambda bodies.
+
+    A call inside a nested ``def`` or ``lambda`` runs when the closure is
+    invoked, not when the enclosing statement executes, so it must not
+    count as "the marker has executed here".
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+class _DominationWalker:
+    """Statement-list walker computing must-execution of a marker call."""
+
+    def __init__(self, is_marker) -> None:
+        self._is_marker = is_marker
+        self.events: list[PathEvent] = []
+
+    def _marked(self, expr: Optional[ast.AST]) -> bool:
+        if expr is None:
+            return False
+        return any(self._is_marker(call) for call in _own_calls(expr))
+
+    def block(self, stmts, state: bool) -> tuple[bool, bool]:
+        """Returns ``(state_out, falls_through)`` for a statement list."""
+        for stmt in stmts:
+            state, falls_through = self._stmt(stmt, state)
+            if not falls_through:
+                return state, False
+        return state, True
+
+    def _stmt(self, stmt: ast.stmt, state: bool) -> tuple[bool, bool]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return state, True
+        if isinstance(stmt, ast.Return):
+            # The returned expression evaluates before the return
+            # completes: ``return self.publish(...)`` is dominated.
+            state = state or self._marked(stmt.value)
+            if stmt.value is not None:
+                self.events.append(PathEvent(
+                    node=stmt, lineno=stmt.lineno, kind="return",
+                    dominated=state))
+            return state, False
+        if isinstance(stmt, (ast.Raise, ast.Break, ast.Continue)):
+            return state, False
+        if isinstance(stmt, ast.If):
+            state = state or self._marked(stmt.test)
+            then = self.block(stmt.body, state)
+            other = self.block(stmt.orelse, state)
+            outs = [s for s, falls in (then, other) if falls]
+            if not outs:   # no branch falls through: what follows is dead
+                return True, False
+            return all(outs), True
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            head = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) \
+                else stmt.test
+            state = state or self._marked(head)
+            body_state, body_falls = self.block(stmt.body, state)
+            # Loop optimism: the body is assumed to run at least once.
+            # A zero-iteration loop has accepted no record, so there is
+            # nothing to make durable before acking the empty batch.
+            after = body_state if body_falls else state
+            else_state, else_falls = self.block(stmt.orelse, after)
+            return (else_state if else_falls else after), True
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                state = state or self._marked(item.context_expr)
+            return self.block(stmt.body, state)
+        if isinstance(stmt, ast.Try) or (
+                hasattr(ast, "TryStar")
+                and isinstance(stmt, getattr(ast, "TryStar"))):
+            return self._try(stmt, state)
+        if hasattr(ast, "Match") and isinstance(stmt, getattr(ast, "Match")):
+            state = state or self._marked(stmt.subject)
+            outs = [state]   # implicit no-match fall-through
+            for case in stmt.cases:
+                case_state, case_falls = self.block(case.body, state)
+                if case_falls:
+                    outs.append(case_state)
+            return all(outs), True
+        # Simple statement: scan it for markers, then record ack shapes.
+        state = state or self._marked(stmt)
+        self._note_future_acks(stmt, state)
+        return state, True
+
+    def _try(self, stmt, state: bool) -> tuple[bool, bool]:
+        body_state, body_falls = self.block(stmt.body, state)
+        outs = []
+        if body_falls:
+            else_state, else_falls = self.block(stmt.orelse, body_state)
+            if else_falls:
+                outs.append(else_state)
+        for handler in stmt.handlers:
+            # The exception may fire before the marker ran: handlers
+            # start from the state at try entry, not after the body.
+            handler_state, handler_falls = self.block(handler.body, state)
+            if handler_falls:
+                outs.append(handler_state)
+        merged, falls = (all(outs), True) if outs else (True, False)
+        if stmt.finalbody:
+            final_state, final_falls = self.block(stmt.finalbody, merged)
+            return final_state, falls and final_falls
+        return merged, falls
+
+    def _note_future_acks(self, stmt: ast.stmt, state: bool) -> None:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Attribute) \
+                        and target.attr == "result":
+                    self.events.append(PathEvent(
+                        node=stmt, lineno=stmt.lineno,
+                        kind="future-result", dominated=state))
+        for call in _own_calls(stmt):
+            if receiver_chain(call.func)[-1] == "set_result":
+                self.events.append(PathEvent(
+                    node=call, lineno=call.lineno,
+                    kind="future-result", dominated=state))
+
+
+def ack_path_events(func: FunctionSummary, is_marker) -> list[PathEvent]:
+    """Completion events of ``func`` with marker must-domination verdicts.
+
+    ``is_marker`` is a predicate over ``ast.Call`` nodes (typically "this
+    call makes the record durable").  Events are returned in source order.
+    """
+    walker = _DominationWalker(is_marker)
+    walker.block(list(func.node.body), False)
+    walker.events.sort(key=lambda e: e.lineno)
+    return walker.events
+
+
 def project_summary(project: Project) -> ProjectSummary:
     """The cached :class:`ProjectSummary` for this analysis run."""
     cached = getattr(project, "_summary", None)

@@ -67,6 +67,11 @@ class Segment:
         # built lazily on sealed segments to accelerate filtering.
         self._attr_indexes: dict[str, object] = {}
         self.max_lsn = 0
+        # Insert-only watermark for WAL replay dedup.  ``max_lsn`` cannot
+        # serve: deletions fan out to every segment of the collection and
+        # bump it with timestamps from other shards' channels, so it is
+        # not comparable with one channel's insert LSNs.
+        self.max_insert_lsn = 0
         self.last_insert_at_ms = 0.0
         self.temp_index_enabled = True
 
@@ -141,6 +146,7 @@ class Segment:
         self._deleted = np.concatenate(
             [self._deleted, np.zeros(len(pks), dtype=bool)])
         self.max_lsn = max(self.max_lsn, lsn)
+        self.max_insert_lsn = max(self.max_insert_lsn, lsn)
         self.last_insert_at_ms = now_ms
         if self.temp_index_enabled:
             self._refresh_temp_indexes(start)

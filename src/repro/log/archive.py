@@ -65,6 +65,10 @@ class WalArchiver:
         self.chunk_records = chunk_records
         self._subs: dict[str, Subscription] = {}
         self._pending: dict[str, list[tuple[int, WalRecord]]] = {}
+        # Archive high-water mark per channel; kept across detach/attach
+        # so a replayed or re-attached subscription cannot buffer (and
+        # later chunk) offsets the archive already holds.
+        self._next_offset: dict[str, int] = {}
         self.chunks_written = 0
 
     # ------------------------------------------------------------------
@@ -88,6 +92,9 @@ class WalArchiver:
         self._pending.pop(channel, None)
 
     def _on_entry(self, entry: LogEntry) -> None:
+        if entry.offset < self._next_offset.get(entry.channel, 0):
+            return  # replayed delivery below the archived watermark
+        self._next_offset[entry.channel] = entry.offset + 1
         pending = self._pending[entry.channel]
         pending.append((entry.offset, entry.payload))
         if len(pending) >= self.chunk_records:

@@ -98,17 +98,20 @@ class Logger:
         """
         existing = tuple(pk for pk in pks if mapping.get(str(pk)) is not None)
         ts = self._tso.allocate_packed()
-        if existing:
-            with self._tracer.span("logger.publish_delete",
-                                   self._component, collection=collection,
-                                   shard=shard, rows=len(existing)):
-                record = DeleteRecord(ts=ts, collection=collection,
-                                      shard=shard, pks=existing)
-                self._broker.publish(shard_channel(collection, shard),
-                                     record)
-            for pk in existing:
-                mapping.delete(str(pk))
-            self.records_published += 1
+        if not existing:
+            # Zero-effect ack: no entity matched, nothing was accepted,
+            # so there is nothing a crash after this return could lose.
+            return ts, 0  # manu-lint: disable=durability-ack-before-durable -- zero-effect ack: empty delete publishes nothing
+        with self._tracer.span("logger.publish_delete",
+                               self._component, collection=collection,
+                               shard=shard, rows=len(existing)):
+            record = DeleteRecord(ts=ts, collection=collection,
+                                  shard=shard, pks=existing)
+            self._broker.publish(shard_channel(collection, shard),
+                                 record)
+        for pk in existing:
+            mapping.delete(str(pk))
+        self.records_published += 1
         return ts, len(existing)
 
 

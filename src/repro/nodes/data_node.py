@@ -62,7 +62,10 @@ class DataNode:
         self._growing: dict[tuple[str, str], Segment] = {}
         self._segment_shard: dict[tuple[str, str], int] = {}
         self._channel_offsets: dict[str, int] = {}
-        self._delta_buffer: dict[tuple[str, int], list] = {}
+        # (collection, shard) -> {pk: latest delete ts}.  Keyed (not
+        # appended) so a WAL replay of the same deletion is absorbed
+        # instead of duplicating delta entries.
+        self._delta_buffer: dict[tuple[str, int], dict] = {}
         # Seal decisions that arrived before (or while) the segment's rows
         # were still in flight on the shard channel:
         # (coll, seg) -> (shard, wire trace context of the seal delivery).
@@ -149,6 +152,8 @@ class DataNode:
         segment = self._segment(record.collection, record.segment_id)
         self._segment_shard[(record.collection, record.segment_id)] = \
             record.shard
+        if record.ts <= segment.max_insert_lsn:
+            return  # WAL replay of a batch this segment already holds
         segment.append(list(record.pks), dict(record.columns), record.ts,
                        now_ms=self._loop.now())
         # Rotation signal: the shard channel is FIFO, so rows for any
@@ -171,14 +176,17 @@ class DataNode:
                 segment.apply_delete(hit, record.ts)
                 remaining -= set(hit)
         if remaining:
-            buffer = self._delta_buffer.setdefault(
-                (record.collection, record.shard), [])
-            buffer.extend((pk, record.ts) for pk in remaining)
+            bucket = self._delta_buffer.setdefault(
+                (record.collection, record.shard), {})
+            for pk in remaining:
+                if record.ts > bucket.get(pk, 0):
+                    bucket[pk] = record.ts
 
     def flush_delta_logs(self) -> None:
         """Persist buffered sealed-segment deletions (periodic event)."""
-        for (collection, shard), entries in self._delta_buffer.items():
-            write_delete_delta(self._store, collection, shard, entries)
+        for (collection, shard), bucket in self._delta_buffer.items():
+            write_delete_delta(self._store, collection, shard,
+                               sorted(bucket.items(), key=lambda kv: kv[1]))
         self._delta_buffer = {}
 
     # ------------------------------------------------------------------

@@ -154,8 +154,11 @@ class QueryNode:
                 self._config.segment.enable_temp_index
             self._register(key, segment)
             self._growing_ids.add(key)
-        self._segments[key].append(list(record.pks), dict(record.columns),
-                                   record.ts, now_ms=self._loop.now())
+        segment = self._segments[key]
+        if record.ts <= segment.max_insert_lsn:
+            return  # WAL replay of a batch this copy already holds
+        segment.append(list(record.pks), dict(record.columns),
+                       record.ts, now_ms=self._loop.now())
 
     def _apply_delete(self, collection: str, record: DeleteRecord) -> None:
         history = self._seen_deletes.setdefault(collection, {})

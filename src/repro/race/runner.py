@@ -109,15 +109,36 @@ def _build_cluster(policy: SchedulePolicy,
     return cluster
 
 
+def inject_crash(cluster: ManuCluster) -> str:
+    """Kill one established query node, deterministically, as a crash
+    point, and bring up a replacement.
+
+    Consumes nothing from the scenario RNG *and* restores the node
+    count, so the op stream's state-dependent branches (``fail_node``
+    needs >1 nodes, ``add_node`` <5, ...) draw the identical RNG
+    sequence with and without the crash.  The recovered run must then
+    converge to the uncrashed fingerprint: checkpointed segments reload
+    from their binlogs and channels replay from the recorded flushed
+    offsets.
+    """
+    victim = cluster.query_coord.node_names[0]
+    cluster.add_query_node()
+    cluster.run_for(100)
+    cluster.fail_query_node(victim)
+    return victim
+
+
 def run_chaos_scenario(policy: SchedulePolicy, steps: int = 30,
                        trace: bool = False,
+                       crash_step: Optional[int] = None,
                        ) -> tuple[ManuCluster, dict[int, np.ndarray]]:
     """Run the fixed chaos scenario under ``policy``.
 
     Returns the settled cluster and the model of expected live entities
     (pk -> vector).  The operation stream (inserts, deletes, flushes,
     compactions, node failures, logger churn) is identical for every
-    policy; only event interleaving differs.
+    policy; only event interleaving differs.  ``crash_step`` injects
+    :func:`inject_crash` after that step's operation has settled.
     """
     rng = np.random.default_rng(OPS_SEED)
     cluster = _build_cluster(policy, trace=trace)
@@ -133,7 +154,7 @@ def run_chaos_scenario(policy: SchedulePolicy, steps: int = 30,
     next_pk = 0
     logger_seq = 0
 
-    for _ in range(steps):
+    for step in range(steps):
         op = rng.choice(
             ["insert", "insert", "insert", "delete", "delete", "flush",
              "compact", "fail_node", "add_node", "remove_node",
@@ -177,6 +198,8 @@ def run_chaos_scenario(policy: SchedulePolicy, steps: int = 30,
                 cluster.fail_logger(
                     cluster.logger_service.logger_names[0])
         cluster.run_for(float(rng.integers(50, 400)))
+        if crash_step is not None and step == crash_step:
+            inject_crash(cluster)
 
     # Settle: let deliveries, seals, handoffs and index builds complete so
     # the fingerprint reads a quiescent cluster, not an in-flight one.

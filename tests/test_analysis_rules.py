@@ -436,7 +436,12 @@ class TestEngineAndCli:
 
     def test_rule_registry_complete(self):
         assert sorted(rule.id for rule in all_rules()) == [
-            "consistency-discipline", "determinism", "error-hygiene",
+            "consistency-discipline", "determinism",
+            "durability-ack-before-durable",
+            "durability-checkpoint-coverage",
+            "durability-replay-unguarded",
+            "durability-unlogged-mutation",
+            "error-hygiene",
             "frozen-record", "layering", "pubsub-topology",
             "raceorder-detached", "raceorder-hidden-coupling",
             "raceorder-shared-state", "resource-discipline",

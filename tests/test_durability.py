@@ -1,0 +1,476 @@
+"""Tests for the manu-crash crash-consistency pass (repro.analysis).
+
+Each rule family gets a fixture triple: the violation fires, a guarded
+counterpart stays silent, and an in-place suppression is honoured.  On
+top of that the recovered durability model is pinned: deterministic
+across builds, embedded in ``--format json``, exportable as dot, and the
+real repository must be strict-clean under all four rules.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import run_analysis
+from repro.analysis.durability import (
+    DURABILITY_ACK,
+    DURABILITY_COVERAGE,
+    DURABILITY_REPLAY,
+    DURABILITY_UNLOGGED,
+)
+from repro.analysis.engine import load_project
+from repro.analysis.recovery import (
+    build_durability_model,
+    verify_declared_components,
+)
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+BROKER_STUB = """
+class LogBroker:
+    pass
+"""
+
+
+def make_tree(tmp_path, files):
+    root = tmp_path / "repro_root"
+    for relpath, source in files.items():
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def lint(tmp_path, files, rule=None):
+    select = [rule] if rule else None
+    return run_analysis(make_tree(tmp_path, files), select=select)
+
+
+def findings_at(report, rule):
+    return [(f.path, f.line) for f in report.findings if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# durability-ack-before-durable
+# ----------------------------------------------------------------------
+
+
+class TestAckBeforeDurable:
+    def test_early_return_before_publish_fires(self, tmp_path):
+        report = lint(tmp_path, {
+            "log/broker.py": BROKER_STUB,
+            "log/logger_node.py": """
+                from repro.log.broker import LogBroker
+
+                def shard_channel(collection, shard):
+                    return f"wal/{collection}/shard-{shard}"
+
+                class Logger:
+                    def __init__(self, broker: LogBroker) -> None:
+                        self._broker = broker
+
+                    def publish_insert(self, collection, shard, record):
+                        if record is None:
+                            return 0
+                        self._broker.publish(
+                            shard_channel(collection, shard), record)
+                        return 1
+            """,
+        }, rule=DURABILITY_ACK)
+        assert findings_at(report, DURABILITY_ACK) == [
+            ("log/logger_node.py", 13)]
+        assert "not dominated" in report.findings[0].message
+
+    def test_publish_dominates_every_return_is_clean(self, tmp_path):
+        report = lint(tmp_path, {
+            "log/broker.py": BROKER_STUB,
+            "log/logger_node.py": """
+                from repro.log.broker import LogBroker
+
+                def shard_channel(collection, shard):
+                    return f"wal/{collection}/shard-{shard}"
+
+                class Logger:
+                    def __init__(self, broker: LogBroker) -> None:
+                        self._broker = broker
+
+                    def publish_insert(self, collection, shard, record):
+                        self._broker.publish(
+                            shard_channel(collection, shard), record)
+                        if record is None:
+                            return 0
+                        return 1
+            """,
+        }, rule=DURABILITY_ACK)
+        assert report.findings == []
+
+    def test_suppression_honoured(self, tmp_path):
+        report = lint(tmp_path, {
+            "log/broker.py": BROKER_STUB,
+            "log/logger_node.py": """
+                from repro.log.broker import LogBroker
+
+                def shard_channel(collection, shard):
+                    return f"wal/{collection}/shard-{shard}"
+
+                class Logger:
+                    def __init__(self, broker: LogBroker) -> None:
+                        self._broker = broker
+
+                    def publish_insert(self, collection, shard, record):
+                        if record is None:
+                            return 0  # manu-lint: disable=durability-ack-before-durable -- zero-effect ack
+                        self._broker.publish(
+                            shard_channel(collection, shard), record)
+                        return 1
+            """,
+        }, rule=DURABILITY_ACK)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# durability-unlogged-mutation
+# ----------------------------------------------------------------------
+
+SEGMENT_STUB = """
+    class Segment:
+        def __init__(self):
+            self._pks = []
+
+        def append(self, pks, lsn):
+            if lsn <= 0:
+                return
+            self._pks.extend(pks)
+"""
+
+
+class TestUnloggedMutation:
+    def test_mutation_outside_replay_path_fires(self, tmp_path):
+        report = lint(tmp_path, {
+            "core/segment.py": SEGMENT_STUB,
+            "nodes/editor.py": """
+                from repro.core.segment import Segment
+
+                class Editor:
+                    def __init__(self, segment: Segment) -> None:
+                        self._segment = segment
+
+                    def patch_rows(self, pks):
+                        self._segment.append(pks, 0)
+            """,
+        }, rule=DURABILITY_UNLOGGED)
+        assert findings_at(report, DURABILITY_UNLOGGED) == [
+            ("nodes/editor.py", 9)]
+        assert "Segment.append" in report.findings[0].message
+
+    def test_restore_path_mutation_is_clean(self, tmp_path):
+        report = lint(tmp_path, {
+            "core/segment.py": SEGMENT_STUB,
+            "nodes/editor.py": """
+                from repro.core.segment import Segment
+
+                class Editor:
+                    def __init__(self, segment: Segment) -> None:
+                        self._segment = segment
+
+                    def rebuild_from_binlog(self, pks):
+                        self._segment.append(pks, 1)
+            """,
+        }, rule=DURABILITY_UNLOGGED)
+        assert report.findings == []
+
+    def test_suppression_honoured(self, tmp_path):
+        report = lint(tmp_path, {
+            "core/segment.py": SEGMENT_STUB,
+            "nodes/editor.py": """
+                from repro.core.segment import Segment
+
+                class Editor:
+                    def __init__(self, segment: Segment) -> None:
+                        self._segment = segment
+
+                    def patch_rows(self, pks):
+                        self._segment.append(pks, 0)  # manu-lint: disable=durability-unlogged-mutation -- test-only backdoor
+            """,
+        }, rule=DURABILITY_UNLOGGED)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# durability-replay-unguarded
+# ----------------------------------------------------------------------
+
+
+class TestReplayUnguarded:
+    def test_blind_append_in_handler_fires(self, tmp_path):
+        report = lint(tmp_path, {
+            "log/broker.py": BROKER_STUB,
+            "nodes/archiver.py": """
+                from repro.log.broker import LogBroker
+
+                def shard_channel(collection, shard):
+                    return f"wal/{collection}/shard-{shard}"
+
+                class Archiver:
+                    def __init__(self, broker: LogBroker) -> None:
+                        self._broker = broker
+                        self._rows = []
+                        self._sub = None
+
+                    def attach(self, collection, shard):
+                        self._sub = self._broker.subscribe(
+                            shard_channel(collection, shard),
+                            "archiver", 0, callback=self._on_entry)
+
+                    def _on_entry(self, entry):
+                        self._rows.append(entry.payload)
+            """,
+        }, rule=DURABILITY_REPLAY)
+        assert findings_at(report, DURABILITY_REPLAY) == [
+            ("nodes/archiver.py", 19)]
+        assert "without a progress guard" in report.findings[0].message
+
+    def test_offset_guard_silences(self, tmp_path):
+        report = lint(tmp_path, {
+            "log/broker.py": BROKER_STUB,
+            "nodes/archiver.py": """
+                from repro.log.broker import LogBroker
+
+                def shard_channel(collection, shard):
+                    return f"wal/{collection}/shard-{shard}"
+
+                class Archiver:
+                    def __init__(self, broker: LogBroker) -> None:
+                        self._broker = broker
+                        self._rows = []
+                        self._next_offset = 0
+                        self._sub = None
+
+                    def attach(self, collection, shard):
+                        self._sub = self._broker.subscribe(
+                            shard_channel(collection, shard),
+                            "archiver", 0, callback=self._on_entry)
+
+                    def _on_entry(self, entry):
+                        if entry.offset < self._next_offset:
+                            return
+                        self._next_offset = entry.offset + 1
+                        self._rows.append(entry.payload)
+            """,
+        }, rule=DURABILITY_REPLAY)
+        assert report.findings == []
+
+    def test_suppression_honoured(self, tmp_path):
+        report = lint(tmp_path, {
+            "log/broker.py": BROKER_STUB,
+            "nodes/archiver.py": """
+                from repro.log.broker import LogBroker
+
+                def shard_channel(collection, shard):
+                    return f"wal/{collection}/shard-{shard}"
+
+                class Archiver:
+                    def __init__(self, broker: LogBroker) -> None:
+                        self._broker = broker
+                        self._rows = []
+                        self._sub = None
+
+                    def attach(self, collection, shard):
+                        self._sub = self._broker.subscribe(
+                            shard_channel(collection, shard),
+                            "archiver", 0, callback=self._on_entry)
+
+                    def _on_entry(self, entry):
+                        self._rows.append(entry.payload)  # manu-lint: disable=durability-replay-unguarded -- dedup happens at flush
+            """,
+        }, rule=DURABILITY_REPLAY)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# durability-checkpoint-coverage
+# ----------------------------------------------------------------------
+
+
+class TestCheckpointCoverage:
+    def test_uncovered_field_fires(self, tmp_path):
+        report = lint(tmp_path, {
+            "nodes/data_node.py": """
+                class DataNode:
+                    def __init__(self):
+                        self._notes = []
+
+                    def remember(self, note):
+                        self._notes = self._notes + [note]
+            """,
+        }, rule=DURABILITY_COVERAGE)
+        assert findings_at(report, DURABILITY_COVERAGE) == [
+            ("nodes/data_node.py", 7)]
+        assert "DataNode._notes" in report.findings[0].message
+
+    def test_restore_written_field_is_clean(self, tmp_path):
+        report = lint(tmp_path, {
+            "nodes/data_node.py": """
+                class DataNode:
+                    def __init__(self):
+                        self._notes = []
+
+                    def restore_notes(self, notes):
+                        self._notes = list(notes)
+            """,
+        }, rule=DURABILITY_COVERAGE)
+        assert report.findings == []
+
+    def test_suppression_honoured(self, tmp_path):
+        report = lint(tmp_path, {
+            "nodes/data_node.py": """
+                class DataNode:
+                    def __init__(self):
+                        self._notes = []
+
+                    def remember(self, note):
+                        self._notes = self._notes + [note]  # manu-lint: disable=durability-checkpoint-coverage -- scratch pad
+            """,
+        }, rule=DURABILITY_COVERAGE)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# the recovered model itself
+# ----------------------------------------------------------------------
+
+
+class TestDurabilityModel:
+    def test_model_is_deterministic_across_builds(self):
+        first = build_durability_model(load_project(REPO_SRC))
+        second = build_durability_model(load_project(REPO_SRC))
+        assert first.to_dict() == second.to_dict()
+        assert first.to_dot() == second.to_dot()
+        # Serialization must be stable too (the CI artifact is diffed).
+        assert json.dumps(first.to_dict(), sort_keys=True) == \
+            json.dumps(second.to_dict(), sort_keys=True)
+
+    def test_model_is_cached_per_project(self):
+        project = load_project(REPO_SRC)
+        assert build_durability_model(project) \
+            is build_durability_model(project)
+
+    def test_declared_components_all_exist(self):
+        model = build_durability_model(load_project(REPO_SRC))
+        verify_declared_components(model)
+        assert model.missing_components == ()
+
+    def test_real_write_path_is_modelled(self):
+        """The paper's write path shows up in the recovered model: the
+        logger's WAL publishes are the durable points, every client
+        entry (api/cluster proxy insert/delete/upsert) reaches them,
+        and every ack is dominated."""
+        model = build_durability_model(load_project(REPO_SRC))
+        durable = {(p.module, p.qualname) for p in model.durable_points}
+        assert ("log/logger_node.py", "Logger.publish_insert") in durable
+        assert ("log/logger_node.py", "Logger.publish_delete") in durable
+        entries = {e.func.qualname: e.ok for e in model.write_entries}
+        for qualname in ("Collection.insert", "ManuCluster.insert",
+                         "Proxy.insert", "Proxy.delete", "Proxy.upsert",
+                         "Logger.publish_insert"):
+            assert qualname in entries, qualname
+            assert entries[qualname], f"{qualname} ack not dominated"
+
+    def test_real_replay_handlers_are_guarded(self):
+        model = build_durability_model(load_project(REPO_SRC))
+        handlers = {h.func.qualname: h for h in model.handlers}
+        assert "DataNode._on_entry" in handlers
+        assert "QueryNode._on_entry" in handlers
+        for handler in model.handlers:
+            assert handler.guarded, (
+                f"{handler.func.qualname} has unguarded replay effects: "
+                f"{[e.target for e in handler.effects if not e.guarded]}")
+
+    def test_no_field_is_uncovered_in_repo(self):
+        model = build_durability_model(load_project(REPO_SRC))
+        uncovered = [(f.component, f.name) for f in model.fields
+                     if f.bucket == "uncovered"]
+        assert uncovered == []
+
+    def test_repo_is_strict_clean(self):
+        report = run_analysis(REPO_SRC, strict=True)
+        assert report.parse_errors == []
+        assert report.findings == []
+
+    def test_dot_export_shape(self):
+        dot = build_durability_model(load_project(REPO_SRC)).to_dot()
+        assert dot.startswith("digraph manu_durability")
+        for stage in ("received", "published", "durable", "acked"):
+            assert stage in dot
+
+
+# ----------------------------------------------------------------------
+# CLI integration: json embedding and baseline flow
+# ----------------------------------------------------------------------
+
+
+class TestCliIntegration:
+    def test_json_embeds_durability_model(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+        root = make_tree(tmp_path, {"core/ok.py": "x = 1\n"})
+        assert main([str(root), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "durability" in payload
+        assert payload["durability"]["lifecycle"] == [
+            "received", "published-to-WAL", "durable", "acked"]
+
+    def test_dot_durability_format(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+        root = make_tree(tmp_path, {"core/ok.py": "x = 1\n"})
+        assert main([str(root), "--format", "dot-durability"]) == 0
+        assert capsys.readouterr().out.startswith(
+            "digraph manu_durability")
+
+    def test_baseline_flow_covers_durability_findings(self, tmp_path,
+                                                      capsys):
+        from repro.analysis.cli import main
+        root = make_tree(tmp_path, {
+            "nodes/data_node.py": """
+                class DataNode:
+                    def __init__(self):
+                        self._notes = []
+
+                    def remember(self, note):
+                        self._notes = self._notes + [note]
+            """,
+        })
+        baseline = tmp_path / "baseline.json"
+        assert main([str(root)]) == 1
+        capsys.readouterr()
+        assert main([str(root), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        entries = json.loads(baseline.read_text())
+        assert any(e["rule"] == DURABILITY_COVERAGE for e in entries)
+        assert main([str(root), "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# export surface
+# ----------------------------------------------------------------------
+
+
+def test_exports_from_package_roots():
+    import repro
+    import repro.analysis as analysis
+    for mod in (repro, analysis):
+        assert mod.DURABILITY_ACK == "durability-ack-before-durable"
+        assert mod.DURABILITY_UNLOGGED == "durability-unlogged-mutation"
+        assert mod.DURABILITY_REPLAY == "durability-replay-unguarded"
+        assert mod.DURABILITY_COVERAGE == "durability-checkpoint-coverage"
+        assert len(mod.DURABILITY_RULES) == 4
+        assert callable(mod.build_durability_model)
+        assert callable(mod.durability_model_for_root)
+        assert issubclass(mod.RecoveryModelError, Exception)
