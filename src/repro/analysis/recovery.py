@@ -139,9 +139,13 @@ LOGGED_MUTATORS = {
 #: layers whose client-facing entry points the ack rule checks.
 ACK_LAYERS = frozenset({"api", "cluster", "log", "nodes"})
 
-#: entry-point names modelling a client-visible write.
+#: entry-point names modelling a client-visible write.  The ``_async``
+#: variants return an :class:`AckFuture` instead of blocking; their
+#: *return* is not an ack (see :func:`_returns_ack_future`), but any
+#: future they resolve inline still is.
 WRITE_ENTRY_RE = re.compile(
-    r"^(insert|delete|upsert|publish_insert|publish_delete)$")
+    r"^(insert|delete|upsert|publish_insert|publish_delete"
+    r"|publish_batch)(_async)?$")
 
 #: modules whose mutations are row state (rule: unlogged-mutation scope).
 MUTATION_MODULE_PREFIXES = ("nodes/", "coord/", "core/")
@@ -443,6 +447,46 @@ def _durable_publish_sites(summary: ProjectSummary,
     return out
 
 
+def _resolves_future_inline(func: FunctionSummary) -> bool:
+    """Whether ``func``'s own body resolves a future.
+
+    True for a ``.set_result(...)`` call or an assignment to
+    ``<x>.result`` outside nested def/lambda bodies (those run when the
+    closure fires, not when ``func`` does).  Functions like a group-
+    commit ``flush_group`` resolve acks for writes that *entered*
+    elsewhere; the resolution site is where domination by the WAL
+    publish must be checked.
+    """
+    stack = list(func.node.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call) \
+                and receiver_chain(node.func)[-1] == "set_result":
+            return True
+        if isinstance(node, ast.Assign) and any(
+                isinstance(target, ast.Attribute)
+                and target.attr == "result"
+                for target in node.targets):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _returns_ack_future(func: FunctionSummary) -> bool:
+    """Whether ``func`` is annotated to return an ``AckFuture``.
+
+    Returning a deferred ack handle is not a success ack — the client-
+    visible completion is the future's *resolution*, checked at its
+    ``set_result`` site — so ``return`` events of such entries are not
+    ack points.
+    """
+    returns = func.node.returns
+    return returns is not None and "AckFuture" in ast.dump(returns)
+
+
 def _write_entries(summary: ProjectSummary,
                    durable_sites: dict,
                    ) -> list[WriteEntry]:
@@ -452,7 +496,10 @@ def _write_entries(summary: ProjectSummary,
     for func in summary.functions:
         if func.ctx.layer not in ACK_LAYERS:
             continue
-        if not WRITE_ENTRY_RE.match(func.name):
+        named = bool(WRITE_ENTRY_RE.match(func.name))
+        # Resolver entries: not client-facing by name, but the place
+        # where deferred ack futures actually resolve (group commit).
+        if not named and not _resolves_future_inline(func):
             continue
         if not _reaches_durable(summary, func, durable_keys, reach_cache):
             continue
@@ -470,9 +517,14 @@ def _write_entries(summary: ProjectSummary,
                 _reaches_durable(summary, t, durable_keys, reach_cache)
                 for t in targets)
 
+        events = ack_path_events(func, is_marker)
+        if not named:
+            events = [e for e in events if e.kind == "future-result"]
+        elif _returns_ack_future(func):
+            events = [e for e in events if e.kind != "return"]
         acks = [AckPoint(kind=event.kind, line=event.lineno,
                          dominated=event.dominated)
-                for event in ack_path_events(func, is_marker)]
+                for event in events]
         if acks:
             entries.append(WriteEntry(func=func, acks=acks))
     return entries

@@ -138,7 +138,11 @@ class ManuCluster:
             num_shards=self.config.log.num_shards,
             logger_names=logger_names,
             lsm_memtable_limit=self.config.storage.lsm_memtable_limit,
-            tracer=self.tracer)
+            tracer=self.tracer, loop=self.loop,
+            group_commit_enabled=self.config.log.group_commit_enabled,
+            group_commit_rows=self.config.log.group_commit_rows,
+            group_commit_bytes=self.config.log.group_commit_bytes,
+            group_commit_window_ms=self.config.log.group_commit_window_ms)
 
         # Workers.
         self._node_seq = itertools.count()
@@ -295,9 +299,9 @@ class ManuCluster:
 
         lag_family = metrics.gauge_family(
             "wal_subscriber_lag", ("channel", "subscriber"),
-            help="records behind the channel end", unit="records")
+            help="logical records behind the channel end", unit="records")
         lag_family.set_gauges({
-            (sub.channel, sub.name): float(sub.lag())
+            (sub.channel, sub.name): float(sub.lag_records())
             for sub in self.broker.subscriptions()})
 
         depth_family = metrics.gauge_family(
@@ -340,6 +344,42 @@ class ManuCluster:
         build_family.set_gauges({
             (index_node.name,): index_node.queue_depth_ms()
             for index_node in self.index_nodes})
+
+        # Group-commit telemetry: the logger service accumulates one
+        # entry per flushed commit group; drain them into histograms and
+        # a flush-reason counter (log/ cannot import monitoring/, so the
+        # samples travel via this drain rather than direct observation).
+        batch_hist = metrics.histogram_family(
+            "wal_group_commit_batch_rows", (),
+            help="rows coalesced into one WAL batch publish",
+            unit="rows")
+        window_hist = metrics.histogram_family(
+            "wal_group_commit_window_ms", (),
+            help="commit-window age of a group at flush time", unit="ms")
+        reason_family = metrics.counter_family(
+            "wal_group_commit_flushes", ("reason",),
+            help="commit-group flushes by trigger (rows/bytes/window/"
+                 "explicit)")
+        for reason, _, rows, _, age_ms in \
+                self.logger_service.drain_flush_log():
+            batch_hist.labels().observe(float(rows))
+            window_hist.labels().observe(age_ms)
+            reason_family.labels(reason=reason).inc()
+
+        publish_family = metrics.gauge_family(
+            "wal_published_total", ("logger", "kind"),
+            help="batches and rows published per logger node")
+        publish_family.set_gauges({
+            (name, kind): float(value)
+            for name, logger in self.logger_service.loggers()
+            for kind, value in (("batches", logger.batches_published),
+                                ("rows", logger.rows_published))})
+
+        pending_family = metrics.gauge_family(
+            "wal_group_commit_pending_rows", (),
+            help="rows buffered in open commit groups", unit="rows")
+        pending_family.set_gauges({
+            (): float(self.logger_service.pending_group_rows())})
 
         health_family = metrics.gauge_family(
             "component_health", ("component",),
@@ -405,8 +445,16 @@ class ManuCluster:
     def insert(self, collection: str, data: Mapping) -> tuple:
         return self.proxy().insert(collection, data)
 
+    def insert_async(self, collection: str, data: Mapping) -> tuple:
+        """Group-commit insert: ``(pks, AckFuture)``; ack at flush time."""
+        return self.proxy().insert_async(collection, data)
+
     def delete(self, collection: str, expr: str) -> int:
         return self.proxy().delete(collection, expr)
+
+    def delete_async(self, collection: str, expr: str):
+        """Group-commit delete: an ``AckFuture`` resolved at flush time."""
+        return self.proxy().delete_async(collection, expr)
 
     def search(self, collection: str, queries, k: int,
                field: Optional[str] = None,

@@ -35,6 +35,26 @@ class LogConfig:
     coord_channel: str = "wal/coord"
     """Channel carrying system-coordination messages (load/release/seal)."""
 
+    group_commit_enabled: bool = True
+    """Coalesce insert/delete records per (collection, shard) into one
+    ``BatchRecord`` WAL publish (group commit); off restores the
+    record-at-a-time append path."""
+
+    group_commit_rows: int = 64
+    """Flush a commit group once it buffers this many rows."""
+
+    group_commit_bytes: int = 256 * 1024
+    """Flush a commit group once its estimated payload exceeds this."""
+
+    group_commit_window_ms: float = 2.0
+    """Commit window: a non-empty group flushes at most this many virtual
+    milliseconds after its first buffered record (0 disables the timer,
+    leaving only the row/byte bounds and explicit flushes)."""
+
+    binlog_chunk_rows: int = 1024
+    """Rows per column chunk when converting a sealed segment to binlog
+    (pipelined conversion instead of a whole-segment stall)."""
+
 
 @dataclass(frozen=True)
 class SegmentConfig:

@@ -25,6 +25,7 @@ from repro.core.schema import MetricType
 from repro.errors import FieldNotFound
 from repro.log.broker import LogBroker, LogEntry, Subscription
 from repro.log.wal import (
+    BatchRecord,
     DeleteRecord,
     InsertRecord,
     TimeTickRecord,
@@ -69,16 +70,19 @@ class KeywordCoProcessor:
             self.gate.observe_tick(record.ts)
             return
         self.gate.observe(record.ts)
-        if isinstance(record, InsertRecord):
-            values = record.columns.get(self.field)
-            if values is None:
-                raise FieldNotFound(
-                    f"field {self.field!r} absent from insert record")
-            for pk, text in zip(record.pks, values):
-                self._index_document(pk, str(text))
-        elif isinstance(record, DeleteRecord):
-            for pk in record.pks:
-                self._remove_document(pk)
+        records = record.records \
+            if isinstance(record, BatchRecord) else (record,)
+        for inner in records:
+            if isinstance(inner, InsertRecord):
+                values = inner.columns.get(self.field)
+                if values is None:
+                    raise FieldNotFound(
+                        f"field {self.field!r} absent from insert record")
+                for pk, text in zip(inner.pks, values):
+                    self._index_document(pk, str(text))
+            elif isinstance(inner, DeleteRecord):
+                for pk in inner.pks:
+                    self._remove_document(pk)
 
     def _index_document(self, pk, text: str) -> None:
         self._remove_document(pk)  # idempotent upsert

@@ -38,7 +38,8 @@ from repro.core.tso import Timestamp
 from repro.errors import TimeTravelError
 from repro.log.binlog import BinlogReader
 from repro.log.broker import LogBroker
-from repro.log.wal import DeleteRecord, InsertRecord, shard_channel
+from repro.log.wal import BatchRecord, DeleteRecord, InsertRecord, \
+    shard_channel
 from repro.storage.object_store import ObjectStore
 
 _delta_seq = itertools.count()
@@ -192,19 +193,26 @@ class TimeTravel:
                 if not entries:
                     break
                 for entry in entries:
-                    record = entry.payload
                     offset = entry.offset + 1
-                    if record.ts > target_ts:
-                        continue
-                    if isinstance(record, InsertRecord):
-                        segment = get_segment(record.segment_id)
-                        if record.ts <= segment.max_lsn:
-                            continue  # already covered by the binlog
-                        segment.append(list(record.pks),
-                                       dict(record.columns), record.ts)
-                    elif isinstance(record, DeleteRecord):
-                        for segment in segments.values():
-                            segment.apply_delete(record.pks, record.ts)
+                    # Expand group-commit envelopes *before* the target
+                    # cut: the envelope ts is the max inner LSN, so a
+                    # batch straddling the target must still apply its
+                    # inner records with ts <= target.
+                    payload = entry.payload
+                    inner = payload.records \
+                        if isinstance(payload, BatchRecord) else (payload,)
+                    for record in inner:
+                        if record.ts > target_ts:
+                            continue
+                        if isinstance(record, InsertRecord):
+                            segment = get_segment(record.segment_id)
+                            if record.ts <= segment.max_lsn:
+                                continue  # already covered by the binlog
+                            segment.append(list(record.pks),
+                                           dict(record.columns), record.ts)
+                        elif isinstance(record, DeleteRecord):
+                            for segment in segments.values():
+                                segment.apply_delete(record.pks, record.ts)
 
         # 3. Apply persisted delete deltas with ts <= target.
         for pk, ts in read_delete_deltas(self._store, collection):

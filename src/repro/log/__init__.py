@@ -23,6 +23,7 @@ from repro.log.wal import (
     WalRecord,
     InsertRecord,
     DeleteRecord,
+    BatchRecord,
     TimeTickRecord,
     DdlRecord,
     CoordRecord,
@@ -36,6 +37,7 @@ __all__ = [
     "WalRecord",
     "InsertRecord",
     "DeleteRecord",
+    "BatchRecord",
     "TimeTickRecord",
     "DdlRecord",
     "CoordRecord",

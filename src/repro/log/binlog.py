@@ -93,11 +93,76 @@ def binlog_prefix(collection: str, segment_id: str) -> str:
     return f"binlog/{collection}/{segment_id}"
 
 
+class BinlogSegmentSink:
+    """Incremental conversion of one sealed segment, chunk by chunk.
+
+    Data nodes feed fixed-size row chunks through :meth:`add_chunk`
+    (each call converts just that slice — the pipelined alternative to a
+    whole-segment stall), then :meth:`finish` concatenates the per-field
+    chunks, writes the column blobs and the manifest, and returns the
+    manifest.  The segment only becomes readable at :meth:`finish`:
+    readers key off ``manifest.json``, so a crash mid-conversion leaves
+    no partially-visible binlog.
+    """
+
+    def __init__(self, store: ObjectStore, collection: str,
+                 segment_id: str) -> None:
+        self._store = store
+        self._collection = collection
+        self._segment_id = segment_id
+        self._pks: list = []
+        self._chunks: dict[str, list] = {}
+        self._finished = False
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._pks)
+
+    def add_chunk(self, pks: Sequence,
+                  columns: Mapping[str, Any]) -> None:
+        """Convert one row chunk (all columns, aligned with ``pks``)."""
+        if self._finished:
+            raise StorageError("segment sink already finished")
+        num_rows = len(pks)
+        for name in sorted(columns):
+            arr = np.asarray(columns[name])
+            if arr.shape[0] != num_rows:
+                raise StorageError(
+                    f"column {name!r} has {arr.shape[0]} rows, "
+                    f"chunk has {num_rows}")
+            self._chunks.setdefault(name, []).append(arr)
+        self._pks.extend(pks)
+
+    def finish(self, max_lsn: int) -> BinlogManifest:
+        """Write the column blobs plus the manifest; returns the manifest."""
+        if self._finished:
+            raise StorageError("segment sink already finished")
+        self._finished = True
+        prefix = binlog_prefix(self._collection, self._segment_id)
+        fields = tuple(sorted(self._chunks))
+        for name in fields:
+            chunks = self._chunks[name]
+            values = chunks[0] if len(chunks) == 1 \
+                else np.concatenate(chunks, axis=0)
+            self._store.put(f"{prefix}/{name}.col",
+                            _column_to_bytes(values))
+        manifest = BinlogManifest(self._collection, self._segment_id,
+                                  len(self._pks), fields, max_lsn,
+                                  tuple(self._pks))
+        self._store.put(f"{prefix}/manifest.json", manifest.to_json())
+        return manifest
+
+
 class BinlogWriter:
     """Writes one sealed segment's columns to the object store."""
 
     def __init__(self, store: ObjectStore) -> None:
         self._store = store
+
+    def open_segment(self, collection: str,
+                     segment_id: str) -> BinlogSegmentSink:
+        """Start a chunked conversion of one sealed segment."""
+        return BinlogSegmentSink(self._store, collection, segment_id)
 
     def write_segment(self, collection: str, segment_id: str,
                       pks: Sequence, columns: Mapping[str, Any],

@@ -74,6 +74,18 @@ class Subscription:
         """Entries appended but not yet consumed by this cursor."""
         return self._broker.end_offset(self.channel) - self.offset
 
+    def lag_records(self) -> int:
+        """Logical records appended but not yet consumed by this cursor.
+
+        A group-commit :class:`~repro.log.wal.BatchRecord` is one entry
+        carrying N logical records; counting entries would under-report
+        backlog once publishes are coalesced.  Duck-typed on
+        ``payload.num_records`` so the broker stays WAL-import-free.
+        """
+        return sum(getattr(entry.payload, "num_records", 1)
+                   for entry in self._broker.read(
+                       self.channel, self.offset, max_entries=1 << 30))
+
     def cancel(self) -> None:
         """Stop all future deliveries to this subscription."""
         self.active = False
@@ -164,6 +176,16 @@ class LogBroker:
         """
         if not (channel.startswith("wal/") and "/shard-" in channel):
             return
+        # Group-commit envelopes: every inner record must respect the
+        # channel's high-water mark too, and the inner sequence itself
+        # must be non-decreasing (duck-typed on ``payload.records``).
+        inner = getattr(payload, "records", None)
+        if inner is not None:
+            for record in inner:
+                self._check_one_ts(channel, record)
+        self._check_one_ts(channel, payload)
+
+    def _check_one_ts(self, channel: str, payload: Any) -> None:
         ts = getattr(payload, "ts", None)
         if not isinstance(ts, int) or ts <= 0:  # manu-lint: disable=timestamp-discipline -- 0/None is the "no timestamp" sentinel, not LSN ordering
             return
@@ -225,13 +247,16 @@ class LogBroker:
         return len(self._entries(channel))
 
     def delivery_queue_depth(self, channel: str) -> int:
-        """Entries appended but not yet pushed to the channel's push subs.
+        """Logical records appended but not yet pushed to the channel's
+        push subs.
 
         Sums cursor lag over push-mode subscriptions only — pull-mode
         cursors (e.g. replay scans) consume at their own pace and are
-        reported through per-subscriber lag instead.
+        reported through per-subscriber lag instead.  Counted in logical
+        records (batch envelopes expanded), matching
+        :meth:`Subscription.lag_records`.
         """
-        return sum(sub.lag() for sub in self._subs.get(channel, ())
+        return sum(sub.lag_records() for sub in self._subs.get(channel, ())
                    if sub.active and sub.callback is not None)
 
     def _drop(self, sub: Subscription) -> None:

@@ -12,12 +12,20 @@ The :class:`LoggerService` is the routing front: it hashes primary keys to
 shards, maps shards to loggers through the ring, and supports adding and
 removing loggers at runtime — shard LSM state is keyed by shard (and backed
 by the shared object store), so ownership changes never lose the mapping.
+
+Group commit: instead of appending record-at-a-time, writes buffer into a
+per-(collection, shard) :class:`CommitGroup` and go out as one coalesced
+:class:`~repro.log.wal.BatchRecord` publish when a bound trips (row count,
+payload bytes, commit window) or a sync caller forces a flush.  Writers
+hold an :class:`AckFuture` that resolves with the batch LSN strictly after
+the publish returned — acks never precede durability.  Commit groups are
+keyed like the mappings, by shard, so logger churn never strands one.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Mapping, Optional, Protocol
+from typing import Callable, Mapping, Optional, Protocol
 
 import numpy as np
 
@@ -26,7 +34,9 @@ from repro.core.tso import TimestampOracle
 from repro.errors import ClusterStateError
 from repro.log.broker import LogBroker
 from repro.log.hashring import HashRing
-from repro.log.wal import DeleteRecord, InsertRecord, shard_channel
+from repro.log.wal import BatchRecord, DeleteRecord, InsertRecord, \
+    WalRecord, shard_channel
+from repro.sim.events import EventLoop
 from repro.storage.lsm import LsmTree
 from repro.storage.object_store import ObjectStore
 from repro.tracing import NOOP_TRACER, TraceCollector
@@ -58,6 +68,141 @@ def shard_bucket_key(collection: str, shard: int) -> str:
     return f"{collection}/shard-{shard}"
 
 
+class AckFuture:
+    """Single-shot write acknowledgement, resolved at group-commit flush.
+
+    Writers buffered into a :class:`CommitGroup` get one of these back
+    immediately; it resolves with the batch publish LSN (and the number
+    of rows the write actually affected) only *after* the coalesced WAL
+    publish returned — so an ack can never precede durability.
+    """
+
+    __slots__ = ("_lsn", "_rows", "_done", "_callbacks")
+
+    def __init__(self) -> None:
+        self._lsn = 0
+        self._rows = 0
+        self._done = False
+        self._callbacks: list[Callable[["AckFuture"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def rows(self) -> int:
+        """Rows the write affected (deletes: keys that existed)."""
+        if not self._done:
+            raise ClusterStateError("write not yet acknowledged")
+        return self._rows
+
+    def result(self) -> int:
+        """The durable batch LSN; raises until the flush resolved it."""
+        if not self._done:
+            raise ClusterStateError("write not yet acknowledged")
+        return self._lsn
+
+    def set_result(self, lsn: int, rows: int) -> None:
+        """Resolve with the batch publish LSN (flush path only)."""
+        if self._done:
+            raise ClusterStateError("ack future already resolved")
+        self._lsn = lsn
+        self._rows = rows
+        self._done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self,
+                          callback: Callable[["AckFuture"], None]) -> None:
+        """Run ``callback(self)`` on resolution (immediately if done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+def merge_acks(children: list[AckFuture]) -> AckFuture:
+    """Fan-in: a future resolving once every child resolved.
+
+    The merged LSN is the max child LSN; the merged row count sums the
+    children (a multi-shard write is acked when its last shard flush is
+    durable).
+    """
+    children = list(children)
+    if len(children) == 1:
+        # Single-shard write (the overwhelmingly common case): the
+        # child's resolution *is* the merged resolution — no fan-in
+        # bookkeeping needed.
+        return children[0]
+    merged = AckFuture()
+    if not children:
+        merged.set_result(0, 0)
+        return merged
+    pending = {"left": len(children)}
+
+    def _on_child(_child: AckFuture) -> None:
+        pending["left"] -= 1
+        if pending["left"] == 0:
+            merged.set_result(max(c.result() for c in children),
+                              sum(c.rows for c in children))
+
+    for child in children:
+        child.add_done_callback(_on_child)
+    return merged
+
+
+class _PendingOp:
+    """One buffered write awaiting group-commit flush."""
+
+    __slots__ = ("kind", "pks", "columns", "future")
+
+    def __init__(self, kind: str, pks: tuple, columns: Optional[Mapping],
+                 future: Optional[AckFuture]) -> None:
+        self.kind = kind          # "insert" | "delete"
+        self.pks = pks
+        self.columns = columns    # insert only
+        self.future = future      # None for sync writers
+
+
+class CommitGroup:
+    """Per-(collection, shard) buffer of not-yet-durable writes.
+
+    Accumulates insert/delete ops until a flush bound trips — row count,
+    estimated payload bytes, or the commit window timer — or a sync
+    writer forces an explicit flush.  ``epoch`` increments on every
+    flush so a stale window timer can recognise that its group already
+    went out.
+    """
+
+    __slots__ = ("ops", "rows", "nbytes", "first_at", "epoch")
+
+    def __init__(self) -> None:
+        self.ops: list[_PendingOp] = []
+        self.rows = 0
+        self.nbytes = 0
+        self.first_at = 0.0
+        self.epoch = 0
+
+    def reset(self) -> None:
+        self.ops = []
+        self.rows = 0
+        self.nbytes = 0
+        self.epoch += 1
+
+
+def _estimate_nbytes(pks: tuple, columns: Optional[Mapping]) -> int:
+    """Rough payload size of one buffered op (drives the byte bound)."""
+    total = 8 * len(pks)
+    if columns:
+        for values in columns.values():
+            if isinstance(values, np.ndarray):
+                total += values.nbytes
+            else:
+                total += 8 * len(values)
+    return total
+
+
 class Logger:
     """One logger node; operates on the shard states handed to it."""
 
@@ -69,7 +214,10 @@ class Logger:
         self._broker = broker
         self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._component = f"logger:{name}"
-        self.records_published = 0
+        # One publish call may carry a whole commit group: count WAL
+        # appends and logical rows separately.
+        self.batches_published = 0
+        self.rows_published = 0
 
     def publish_insert(self, collection: str, shard: int, segment_id: str,
                        pks: tuple, columns: Mapping,
@@ -83,9 +231,9 @@ class Logger:
                                   segment_id=segment_id, pks=pks,
                                   columns=columns)
             self._broker.publish(shard_channel(collection, shard), record)
-        for pk in pks:
-            mapping.put(str(pk), segment_id)
-        self.records_published += 1
+        mapping.put_many((str(pk), segment_id) for pk in pks)
+        self.batches_published += 1
+        self.rows_published += len(pks)
         return ts
 
     def publish_delete(self, collection: str, shard: int, pks: tuple,
@@ -109,10 +257,29 @@ class Logger:
                                   shard=shard, pks=existing)
             self._broker.publish(shard_channel(collection, shard),
                                  record)
-        for pk in existing:
-            mapping.delete(str(pk))
-        self.records_published += 1
+        mapping.delete_many(str(pk) for pk in existing)
+        self.batches_published += 1
+        self.rows_published += len(existing)
         return ts, len(existing)
+
+    def publish_batch(self, collection: str, shard: int,
+                      records: tuple) -> int:
+        """Publish one coalesced commit group; returns the batch LSN.
+
+        ``records`` are pre-built insert/delete records in commit order
+        with flush-time LSNs already assigned; the envelope's ``ts`` is
+        the last (max) inner LSN, which is what acks resolve with.
+        """
+        batch = BatchRecord(ts=records[-1].ts, collection=collection,
+                            shard=shard, records=tuple(records))
+        with self._tracer.span("logger.publish_batch", self._component,
+                               collection=collection, shard=shard,
+                               records=batch.num_records,
+                               rows=batch.num_rows):
+            self._broker.publish(shard_channel(collection, shard), batch)
+        self.batches_published += 1
+        self.rows_published += batch.num_rows
+        return batch.ts
 
 
 class LoggerService:
@@ -122,7 +289,12 @@ class LoggerService:
                  store: ObjectStore, allocator: SegmentAllocator,
                  num_shards: int, logger_names: tuple[str, ...] = ("logger-0",),
                  lsm_memtable_limit: int = 1024,
-                 tracer: Optional[TraceCollector] = None) -> None:
+                 tracer: Optional[TraceCollector] = None,
+                 loop: Optional[EventLoop] = None,
+                 group_commit_enabled: bool = True,
+                 group_commit_rows: int = 64,
+                 group_commit_bytes: int = 256 * 1024,
+                 group_commit_window_ms: float = 2.0) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         self._tso = tso
@@ -137,6 +309,18 @@ class LoggerService:
         # Shard LSM trees are keyed by (collection, shard) and outlive any
         # individual logger, mirroring SSTable persistence in object storage.
         self._mappings: dict[tuple[str, int], LsmTree] = {}
+        # Group commit: per-(collection, shard) buffers, keyed like the
+        # mappings so logger churn never strands a pending group.
+        self._loop = loop
+        self._gc_enabled = group_commit_enabled
+        self._gc_rows = group_commit_rows
+        self._gc_bytes = group_commit_bytes
+        self._gc_window_ms = group_commit_window_ms
+        self._groups: dict[tuple[str, int], CommitGroup] = {}
+        # Flush telemetry, drained by the cluster's sampler (the log
+        # layer stays metrics-import-free): (reason, records, rows,
+        # nbytes, window age in virtual ms).
+        self._flush_log: list[tuple[str, int, int, int, float]] = []
         for name in logger_names:
             self.add_logger(name)
 
@@ -147,6 +331,10 @@ class LoggerService:
     @property
     def logger_names(self) -> list[str]:
         return sorted(self._loggers)
+
+    def loggers(self) -> list[tuple[str, "Logger"]]:
+        """(name, logger) pairs in name order, for telemetry export."""
+        return sorted(self._loggers.items())
 
     def add_logger(self, name: str) -> Logger:
         """Register a logger and place it on the ring."""
@@ -193,30 +381,57 @@ class LoggerService:
         return channels
 
     def insert(self, collection: str, batch: EntityBatch) -> int:
-        """Split a validated batch by shard and publish; returns max LSN."""
+        """Split a validated batch by shard and publish; returns max LSN.
+
+        With group commit enabled the rows join each shard's commit
+        group (together with any async writes buffered before them) and
+        the call blocks on an immediate explicit flush — same API, one
+        coalesced WAL publish per shard.
+        """
+        max_ts = 0
+        for shard, rows in self._rows_by_shard(batch):
+            if self._gc_enabled:
+                self._buffer_insert(collection, shard, batch, rows, None)
+                ts = self.flush_group(collection, shard,
+                                      reason="explicit")
+            else:
+                ts = self._insert_direct(
+                    collection, shard, batch,
+                    rows if rows is not None
+                    else list(range(batch.num_rows)))
+            max_ts = max(max_ts, ts)
+        return max_ts
+
+    def insert_async(self, collection: str,
+                     batch: EntityBatch) -> AckFuture:
+        """Buffer a validated batch into its shards' commit groups.
+
+        Returns an :class:`AckFuture` that resolves with the durable
+        batch LSN only after every touched shard's group flushed (row or
+        byte bound, commit window, or an explicit flush) and its WAL
+        publish returned.
+        """
+        if not self._gc_enabled:
+            raise ClusterStateError("group commit is disabled")
+        futures = []
+        for shard, rows in self._rows_by_shard(batch):
+            future = AckFuture()
+            self._buffer_insert(collection, shard, batch, rows, future)
+            futures.append(future)
+            self._maybe_flush(collection, shard)
+        return merge_acks(futures)
+
+    def _rows_by_shard(self, batch: EntityBatch):
+        """(shard, row indices) pairs for a batch; ``rows is None`` means
+        the whole batch, letting buffering skip the row-subset copy."""
+        if self.num_shards == 1:
+            return [(0, None)]
         by_shard: dict[int, list[int]] = {}
         for row, pk in enumerate(batch.pks):
             by_shard.setdefault(shard_of(pk, self.num_shards), []).append(row)
-
-        max_ts = 0
-        for shard in sorted(by_shard):
-            rows = by_shard[shard]
-            logger = self.logger_for_shard(collection, shard)
-            mapping = self._mapping(collection, shard)
-            # Large batches are partitioned across growing segments so no
-            # segment exceeds the seal threshold.
-            cursor = 0
-            for segment_id, count in self._allocator.assign_segments(
-                    collection, shard, len(rows)):
-                chunk = rows[cursor:cursor + count]
-                cursor += count
-                pks = tuple(batch.pks[r] for r in chunk)
-                columns = {name: _take_rows(values, chunk)
-                           for name, values in batch.columns.items()}
-                ts = logger.publish_insert(collection, shard, segment_id,
-                                           pks, columns, mapping)
-                max_ts = max(max_ts, ts)
-        return max_ts
+        if len(by_shard) == 1:
+            return [(next(iter(by_shard)), None)]
+        return [(shard, by_shard[shard]) for shard in sorted(by_shard)]
 
     def delete(self, collection: str, pks: tuple) -> tuple[int, int]:
         """Publish deletions by key; returns (max LSN, deleted count)."""
@@ -226,13 +441,243 @@ class LoggerService:
         max_ts = 0
         deleted = 0
         for shard in sorted(by_shard):
-            logger = self.logger_for_shard(collection, shard)
-            ts, count = logger.publish_delete(
-                collection, shard, tuple(by_shard[shard]),
-                self._mapping(collection, shard))
+            if self._gc_enabled:
+                future = AckFuture()
+                self._buffer_delete(collection, shard,
+                                    tuple(by_shard[shard]), future)
+                self.flush_group(collection, shard, reason="explicit")
+                ts, count = future.result(), future.rows
+            else:
+                logger = self.logger_for_shard(collection, shard)
+                ts, count = logger.publish_delete(
+                    collection, shard, tuple(by_shard[shard]),
+                    self._mapping(collection, shard))
             max_ts = max(max_ts, ts)
             deleted += count
         return max_ts, deleted
+
+    def delete_async(self, collection: str, pks: tuple) -> AckFuture:
+        """Buffer deletions into their shards' commit groups.
+
+        The returned :class:`AckFuture` resolves with the durable batch
+        LSN; ``rows`` carries how many keys existed at flush time.
+        """
+        if not self._gc_enabled:
+            raise ClusterStateError("group commit is disabled")
+        by_shard: dict[int, list] = {}
+        for pk in pks:
+            by_shard.setdefault(shard_of(pk, self.num_shards), []).append(pk)
+        futures = []
+        for shard in sorted(by_shard):
+            future = AckFuture()
+            self._buffer_delete(collection, shard,
+                                tuple(by_shard[shard]), future)
+            futures.append(future)
+            self._maybe_flush(collection, shard)
+        return merge_acks(futures)
+
+    # ------------------------------------------------------------------
+    # group commit
+    # ------------------------------------------------------------------
+
+    def _insert_direct(self, collection: str, shard: int,
+                       batch: EntityBatch, rows: list[int]) -> int:
+        """Record-at-a-time append path (group commit disabled)."""
+        logger = self.logger_for_shard(collection, shard)
+        mapping = self._mapping(collection, shard)
+        # Large batches are partitioned across growing segments so no
+        # segment exceeds the seal threshold.
+        max_ts = 0
+        cursor = 0
+        for segment_id, count in self._allocator.assign_segments(
+                collection, shard, len(rows)):
+            chunk = rows[cursor:cursor + count]
+            cursor += count
+            pks = tuple(batch.pks[r] for r in chunk)
+            columns = {name: _take_rows(values, chunk)
+                       for name, values in batch.columns.items()}
+            ts = logger.publish_insert(collection, shard, segment_id,
+                                       pks, columns, mapping)
+            max_ts = max(max_ts, ts)
+        return max_ts
+
+    def _buffer_insert(self, collection: str, shard: int,
+                       batch: EntityBatch, rows: Optional[list[int]],
+                       future: Optional[AckFuture]) -> None:
+        if rows is None:
+            # Whole batch lands on this shard: buffer the validated
+            # batch's own pks/columns, no row-subset copy.
+            pks = tuple(batch.pks)
+            columns = batch.columns
+        else:
+            pks = tuple(batch.pks[r] for r in rows)
+            columns = {name: _take_rows(values, rows)
+                       for name, values in batch.columns.items()}
+        self._buffer_op(collection, shard,
+                        _PendingOp("insert", pks, columns, future),
+                        _estimate_nbytes(pks, columns))
+
+    def _buffer_delete(self, collection: str, shard: int, pks: tuple,
+                       future: Optional[AckFuture]) -> None:
+        self._buffer_op(collection, shard,
+                        _PendingOp("delete", pks, None, future),
+                        _estimate_nbytes(pks, None))
+
+    def _buffer_op(self, collection: str, shard: int, op: _PendingOp,
+                   nbytes: int) -> None:
+        group = self._groups.setdefault((collection, shard),
+                                        CommitGroup())
+        group.ops.append(op)
+        group.rows += len(op.pks)
+        group.nbytes += nbytes
+        if len(group.ops) == 1 and self._loop is not None:
+            group.first_at = self._loop.now()
+            if self._gc_window_ms > 0:
+                epoch = group.epoch
+                self._loop.call_after(
+                    self._gc_window_ms,
+                    lambda: self._window_flush(collection, shard, epoch),
+                    name=f"group-commit:{collection}/shard-{shard}")
+
+    def _maybe_flush(self, collection: str, shard: int) -> None:
+        group = self._groups.get((collection, shard))
+        if group is None or not group.ops:
+            return
+        if group.rows >= self._gc_rows:
+            self.flush_group(collection, shard, reason="rows")
+        elif group.nbytes >= self._gc_bytes:
+            self.flush_group(collection, shard, reason="bytes")
+
+    def _window_flush(self, collection: str, shard: int,
+                      epoch: int) -> None:
+        """Commit-window timer target; detached (no ambient parent
+        span).  A stale timer — the group it armed for flushed through
+        a bound or an explicit call — sees a bumped epoch and no-ops."""
+        with self._tracer.detached():
+            group = self._groups.get((collection, shard))
+            if group is not None and group.ops and group.epoch == epoch:
+                self.flush_group(collection, shard, reason="window")
+
+    def flush_group(self, collection: str, shard: int,
+                    reason: str = "explicit") -> int:
+        """Flush one commit group as a single coalesced WAL publish.
+
+        Inner records get their LSNs here, at flush time (allocation and
+        publish happen back to back with no event-loop yield, keeping
+        the per-channel monotonicity contract); buffered deletes are
+        existence-filtered against the mapping *plus* the inserts
+        buffered ahead of them in the same group.  Ack futures resolve
+        with the batch LSN only after the publish returned.  Returns the
+        batch LSN (0 when the group was empty).
+        """
+        group = self._groups.get((collection, shard))
+        if group is None or not group.ops:
+            return 0
+        ops = group.ops
+        rows, nbytes = group.rows, group.nbytes
+        age = (self._loop.now() - group.first_at) \
+            if self._loop is not None else 0.0
+        group.reset()
+        mapping = self._mapping(collection, shard)
+        records: list[WalRecord] = []
+        # Flush-time overlay over the mapping: pk -> segment id, or None
+        # once a buffered delete hit it.
+        overlay: dict[str, Optional[str]] = {}
+        acks: list[tuple[Optional[AckFuture], int]] = []
+        index = 0
+        while index < len(ops):
+            op = ops[index]
+            if op.kind == "insert":
+                # Coalesce the run of consecutive inserts into as few
+                # inner records as the segment allocator allows — one
+                # merged record per assigned (segment, chunk), not one
+                # per writer.  Downstream consumers then append whole
+                # chunks instead of row-at-a-time.
+                run = [op]
+                while (index + 1 < len(ops)
+                       and ops[index + 1].kind == "insert"):
+                    index += 1
+                    run.append(ops[index])
+                pks, columns = _merge_insert_run(run)
+                assigned = self._allocator.assign_segments(
+                    collection, shard, len(pks))
+                cursor = 0
+                for segment_id, count in assigned:
+                    if count == len(pks):
+                        chunk_pks, chunk_columns = pks, columns
+                    else:
+                        chunk_pks = pks[cursor:cursor + count]
+                        chunk_columns = {
+                            name: values[cursor:cursor + count]
+                            for name, values in columns.items()}
+                    cursor += count
+                    records.append(InsertRecord(
+                        ts=self._tso.allocate_packed(),
+                        collection=collection, shard=shard,
+                        segment_id=segment_id, pks=chunk_pks,
+                        columns=chunk_columns))
+                    for pk in chunk_pks:
+                        overlay[str(pk)] = segment_id
+                for merged in run:
+                    acks.append((merged.future, len(merged.pks)))
+            else:
+                existing = tuple(
+                    pk for pk in op.pks
+                    if (overlay[str(pk)] is not None
+                        if str(pk) in overlay
+                        else mapping.get(str(pk)) is not None))
+                if existing:
+                    records.append(DeleteRecord(
+                        ts=self._tso.allocate_packed(),
+                        collection=collection, shard=shard,
+                        pks=existing))
+                    for pk in existing:
+                        overlay[str(pk)] = None
+                acks.append((op.future, len(existing)))
+            index += 1
+        if records:
+            logger = self.logger_for_shard(collection, shard)
+            batch_ts = logger.publish_batch(collection, shard,
+                                            tuple(records))
+            puts = [(key, value) for key, value in overlay.items()
+                    if value is not None]
+            dels = [key for key, value in overlay.items()
+                    if value is None]
+            if puts:
+                mapping.put_many(puts)
+            if dels:
+                mapping.delete_many(dels)
+            self._flush_log.append(
+                (reason, len(records), rows, nbytes, age))
+            for future, count in acks:
+                if future is not None:
+                    future.set_result(batch_ts, count)
+            return batch_ts
+        # Zero-effect group: every buffered delete missed.  Nothing was
+        # accepted, so there is nothing a crash after this ack could
+        # lose (same contract as Logger.publish_delete's empty case).
+        ts = self._tso.allocate_packed()
+        for future, _count in acks:
+            if future is not None:
+                future.set_result(ts, 0)  # manu-lint: disable=durability-ack-before-durable -- zero-effect ack: empty flush publishes nothing
+        return ts
+
+    def flush_all_groups(self, reason: str = "explicit") -> None:
+        """Flush every pending commit group (quiesce/shutdown path)."""
+        for collection, shard in sorted(self._groups):
+            self.flush_group(collection, shard, reason=reason)
+
+    def pending_group_rows(self) -> int:
+        """Rows buffered in commit groups, not yet durable (telemetry)."""
+        return sum(group.rows for group in self._groups.values())
+
+    def drain_flush_log(self) -> list[tuple[str, int, int, int, float]]:
+        """Group-commit flush telemetry accumulated since the last
+        drain: (reason, records, rows, bytes, window age ms) per flush.
+        Consumed by the cluster's sampler, keeping this layer
+        metrics-import-free."""
+        log, self._flush_log = self._flush_log, []
+        return log
 
     def lookup_segment(self, collection: str, pk) -> Optional[str]:
         """Segment currently holding ``pk`` (None when absent)."""
@@ -244,6 +689,29 @@ class LoggerService:
         """Flush all shard LSM memtables to SSTables (checkpointing)."""
         for mapping in self._mappings.values():
             mapping.flush()
+
+
+def _merge_insert_run(run: list[_PendingOp]) -> tuple[tuple, dict]:
+    """Concatenate a run of buffered insert ops into one (pks, columns).
+
+    Zero-copy for a run of one (the op's own payload is returned); a
+    longer run concatenates columns once, so the flush emits one merged
+    inner record per segment chunk instead of one per writer.
+    """
+    if len(run) == 1:
+        return run[0].pks, dict(run[0].columns)
+    pks = tuple(pk for op in run for pk in op.pks)
+    columns: dict = {}
+    for name in run[0].columns:
+        parts = [op.columns[name] for op in run]
+        if isinstance(parts[0], np.ndarray):
+            columns[name] = np.concatenate(parts)
+        else:
+            merged: list = []
+            for part in parts:
+                merged.extend(part)
+            columns[name] = merged
+    return pks, columns
 
 
 def _take_rows(values, rows: list[int]):

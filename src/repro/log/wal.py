@@ -64,6 +64,34 @@ class DeleteRecord(WalRecord):
 
 
 @dataclass(frozen=True)
+class BatchRecord(WalRecord):
+    """A group-commit envelope: one WAL publish, N logical records.
+
+    Loggers coalesce insert/delete records buffered in a commit group
+    into one ``BatchRecord`` per (collection, shard) flush.  Inner
+    records keep their own distinct LSNs (ascending, allocated at flush
+    time) so replay guards keyed on per-record ``ts`` keep working; the
+    envelope's ``ts`` is the *last* (= max) inner LSN, which satisfies
+    the broker's per-channel monotonicity check for the batch as a
+    whole.
+    """
+
+    collection: str = ""
+    shard: int = 0
+    records: tuple = ()
+    """Inner :class:`InsertRecord`/:class:`DeleteRecord` instances in
+    commit order."""
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(len(r.pks) for r in self.records)
+
+
+@dataclass(frozen=True)
 class TimeTickRecord(WalRecord):
     """Periodic watermark: all records with LSN <= ts have been published."""
 
@@ -94,6 +122,7 @@ class CoordRecord(WalRecord):
 _RECORD_TYPES = {
     "InsertRecord": InsertRecord,
     "DeleteRecord": DeleteRecord,
+    "BatchRecord": BatchRecord,
     "TimeTickRecord": TimeTickRecord,
     "DdlRecord": DdlRecord,
     "CoordRecord": CoordRecord,
@@ -150,6 +179,12 @@ def record_to_bytes(record: WalRecord) -> bytes:
     elif isinstance(record, DeleteRecord):
         envelope.update(collection=record.collection, shard=record.shard,
                         pks=list(record.pks))
+    elif isinstance(record, BatchRecord):
+        # Each inner record is itself a full WALR blob; the envelope only
+        # carries the routing header and the blob count.
+        envelope.update(collection=record.collection, shard=record.shard,
+                        num_records=len(record.records))
+        blobs = [record_to_bytes(inner) for inner in record.records]
     elif isinstance(record, TimeTickRecord):
         envelope.update(source=record.source)
     elif isinstance(record, DdlRecord):
@@ -201,6 +236,12 @@ def record_from_bytes(raw: bytes) -> WalRecord:
                             collection=envelope["collection"],
                             shard=envelope["shard"],
                             pks=tuple(envelope["pks"]))
+    if rtype == "BatchRecord":
+        return BatchRecord(ts=ts, trace=trace,
+                           collection=envelope["collection"],
+                           shard=envelope["shard"],
+                           records=tuple(record_from_bytes(blob)
+                                         for blob in blobs))
     if rtype == "TimeTickRecord":
         return TimeTickRecord(ts=ts, trace=trace,
                               source=envelope["source"])

@@ -26,6 +26,7 @@ from repro.core.segment import Segment
 from repro.log.binlog import BinlogWriter
 from repro.log.broker import LogBroker, LogEntry, Subscription
 from repro.log.wal import (
+    BatchRecord,
     CoordRecord,
     DeleteRecord,
     InsertRecord,
@@ -125,7 +126,16 @@ class DataNode:
     def _on_entry(self, entry: LogEntry) -> None:
         record = entry.payload
         self._channel_offsets[entry.channel] = entry.offset + 1
-        if isinstance(record, InsertRecord):
+        if isinstance(record, BatchRecord):
+            # One delivery, N logical records: each inner record keeps
+            # its own LSN, so the per-record replay guards below apply
+            # unchanged.
+            for inner in record.records:
+                if isinstance(inner, InsertRecord):
+                    self._apply_insert(inner)
+                elif isinstance(inner, DeleteRecord):
+                    self._apply_delete(inner)
+        elif isinstance(record, InsertRecord):
             self._apply_insert(record)
         elif isinstance(record, DeleteRecord):
             self._apply_delete(record)
@@ -294,9 +304,6 @@ class DataNode:
                        for name, values in columns.items()}
         if not pks:
             return None
-        manifest = self._writer.write_segment(collection, segment_id, pks,
-                                              columns, max_lsn)
-        self.segments_flushed += 1
         write_ms = self._cost.object_write(
             sum(_nbytes(v) for v in columns.values()))
         channel_offset = self._channel_offsets.get(
@@ -305,7 +312,30 @@ class DataNode:
             "data_node.flush", self._component, parent=parent,
             collection=collection, segment=segment_id, rows=len(pks))
 
-        def announce() -> None:
+        # Pipelined conversion: rows reach the binlog sink in fixed-size
+        # chunks spread across the virtual write window, so the node
+        # keeps draining WAL deliveries between steps instead of
+        # stalling on a whole-segment conversion.  The final step writes
+        # the manifest (the segment becomes readable atomically) and
+        # announces — total virtual duration stays ``write_ms``.
+        chunk_rows = max(1, self._config.log.binlog_chunk_rows)
+        chunks = [list(range(start, min(start + chunk_rows, len(pks))))
+                  for start in range(0, len(pks), chunk_rows)]
+        step_ms = write_ms / len(chunks)
+        sink = self._writer.open_segment(collection, segment_id)
+
+        def convert(index: int) -> None:
+            keep = chunks[index]
+            sink.add_chunk([pks[i] for i in keep],
+                           {name: _take(values, keep)
+                            for name, values in columns.items()})
+            if index + 1 < len(chunks):
+                self._loop.call_after(
+                    step_ms, lambda: convert(index + 1),
+                    name=f"flush-chunk:{segment_id}")
+                return
+            manifest = sink.finish(max_lsn)
+            self.segments_flushed += 1
             with self._tracer.activate(flush_span):
                 self._broker.publish(
                     self._config.log.coord_channel, CoordRecord(
@@ -320,8 +350,8 @@ class DataNode:
                         }))
             self._tracer.finish_span(flush_span)
 
-        self._loop.call_after(write_ms, announce,
-                              name=f"flush:{segment_id}")
+        self._loop.call_after(step_ms, lambda: convert(0),
+                              name=f"flush-chunk:{segment_id}")
         if self._flush_hist is not None:
             self._flush_hist.observe(write_ms)
         return segment_id

@@ -31,7 +31,7 @@ from repro.core.results import HitBatch, SearchResult, merge_topk
 from repro.core.schema import MetricType
 from repro.core.tso import TimestampOracle
 from repro.errors import CollectionNotFound, ConsistencyTimeout, ManuError
-from repro.log.logger_node import LoggerService
+from repro.log.logger_node import AckFuture, LoggerService
 from repro.monitoring.metrics import MetricsRegistry
 from repro.sim.costmodel import CostModel
 from repro.sim.events import EventLoop
@@ -136,6 +136,32 @@ class Proxy:
         self._inserts_counter.inc(batch.num_rows)
         return batch.pks
 
+    def insert_async(self, collection: str,
+                     data: Mapping) -> tuple[tuple, "AckFuture"]:
+        """Validate and buffer an insert into the loggers' commit groups.
+
+        Returns ``(pks, ack)``: the assigned primary keys plus an
+        :class:`~repro.log.logger_node.AckFuture` resolving with the
+        durable batch LSN once the group commit flushed.  The session
+        timestamp (read-your-writes) and the insert counter advance only
+        at that point — an unacked write is not yet readable under
+        session consistency.
+        """
+        schema = self._schema(collection)
+        batch = validate_batch(schema, data)
+        # No per-submit span: buffering is a local memory append, and a
+        # span per call would defeat the amortisation this path exists
+        # for.  The flush's "logger.publish_batch" span is the traced
+        # unit and carries the coalesced row count.
+        ack = self._loggers.insert_async(collection, batch)
+
+        def _on_ack(future: "AckFuture") -> None:
+            self._session_ts = max(self._session_ts, future.result())
+            self._inserts_counter.inc(batch.num_rows)
+
+        ack.add_done_callback(_on_ack)
+        return batch.pks, ack
+
     def delete(self, collection: str, expr: str) -> int:
         """Delete by primary-key expression; returns the deleted count.
 
@@ -151,6 +177,28 @@ class Proxy:
         self._session_ts = max(self._session_ts, lsn)
         self._deletes_counter.inc(deleted)
         return deleted
+
+    def delete_async(self, collection: str, expr: str) -> "AckFuture":
+        """Buffer a delete into the loggers' commit groups.
+
+        The returned :class:`~repro.log.logger_node.AckFuture` resolves
+        with the durable batch LSN; its ``rows`` reports how many keys
+        existed at flush time.  Session timestamp and the delete counter
+        advance on resolution.
+        """
+        schema = self._schema(collection)
+        pks = _extract_pks(FilterExpression(expr),
+                           schema.primary_field.name)
+        # Unspanned for the same reason as insert_async: the flush owns
+        # the span.
+        ack = self._loggers.delete_async(collection, tuple(pks))
+
+        def _on_ack(future: "AckFuture") -> None:
+            self._session_ts = max(self._session_ts, future.result())
+            self._deletes_counter.inc(future.rows)
+
+        ack.add_done_callback(_on_ack)
+        return ack
 
     # ------------------------------------------------------------------
     # search

@@ -153,6 +153,29 @@ class LsmTree:
         if len(self._memtable) >= self.memtable_limit:
             self.flush()
 
+    def put_many(self, items) -> None:
+        """Insert or overwrite many (key, value) pairs with a single
+        memtable-limit check at the end (the group-commit write path)."""
+        for key, value in items:
+            key = key.encode() if isinstance(key, str) else bytes(key)
+            value = value.encode() if isinstance(value, str) \
+                else bytes(value)
+            if value == _TOMBSTONE:
+                raise ValueError(
+                    "value collides with the tombstone marker")
+            self._memtable[key] = value
+        if len(self._memtable) >= self.memtable_limit:
+            self.flush()
+
+    def delete_many(self, keys) -> None:
+        """Write tombstones for many keys with a single memtable-limit
+        check at the end."""
+        for key in keys:
+            key = key.encode() if isinstance(key, str) else bytes(key)
+            self._memtable[key] = _TOMBSTONE
+        if len(self._memtable) >= self.memtable_limit:
+            self.flush()
+
     def flush(self) -> Optional[SSTable]:
         """Write the memtable out as a new SSTable; returns it (or None)."""
         if not self._memtable:

@@ -272,3 +272,68 @@ def test_crash_point_recovery_converges_to_uncrashed_fingerprint():
     assert sorted(crashed_model) == sorted(baseline_model)
     crashed_fp = cluster_fingerprint(crashed_cluster, crashed_model)
     assert diff_fingerprints(baseline_fp, crashed_fp) == []
+
+
+def test_crash_with_pending_commit_group_loses_unacked_rows_only(
+        monkeypatch):
+    """Group-commit durability contract at a crash point: rows buffered
+    in an open commit group are neither durable nor acked, so a crash
+    while the group is pending must leave them invisible after recovery
+    — and their AckFuture unresolved.  Once the commit window fires the
+    batch publishes, the future resolves with the batch LSN, and the
+    rows appear."""
+    from repro.config import LogConfig
+    from repro.errors import ClusterStateError
+
+    monkeypatch.setenv("MANU_CHECK", "1")
+    rng = np.random.default_rng(5)
+    # Bounds no sync path can trip: only the (long) window flushes.
+    config = ManuConfig(
+        segment=SegmentConfig(seal_entity_count=64, slice_size=32,
+                              compaction_min_size=48,
+                              compaction_target_size=192),
+        log=LogConfig(group_commit_rows=10_000,
+                      group_commit_bytes=1 << 30,
+                      group_commit_window_ms=5_000.0))
+    cluster = ManuCluster(config=config, num_query_nodes=2,
+                          num_index_nodes=1, num_loggers=2)
+    schema = CollectionSchema([
+        FieldSchema("pk", DataType.INT64, is_primary=True),
+        FieldSchema("vector", DataType.FLOAT_VECTOR, dim=12),
+    ])
+    cluster.create_collection("chaos", schema)
+
+    # Durable, acked baseline (sync insert flushes its group inline).
+    cluster.insert("chaos", {
+        "pk": list(range(100)),
+        "vector": rng.standard_normal((100, 12)).astype(np.float32)})
+    cluster.run_for(300)
+    assert cluster.collection_row_count("chaos") == 100
+
+    # Buffered-but-unacked rows at the crash tick: nothing published.
+    pks, ack = cluster.insert_async("chaos", {
+        "pk": list(range(100, 140)),
+        "vector": rng.standard_normal((40, 12)).astype(np.float32)})
+    assert len(pks) == 40
+    assert not ack.done
+    assert cluster.logger_service.pending_group_rows() == 40
+    with pytest.raises(ClusterStateError):
+        ack.result()
+
+    victim = cluster.query_coord.node_names[0]
+    cluster.fail_query_node(victim)
+    cluster.run_for(200)
+    # Handoff replayed the WAL from recorded offsets: every *acked* row
+    # survives, the pending group's rows do not exist anywhere yet.
+    assert cluster.collection_row_count("chaos") == 100
+    assert not ack.done
+    assert cluster.logger_service.pending_group_rows() == 40
+
+    # The commit window fires: one coalesced batch publish, the ack
+    # resolves with its LSN, and the rows become visible.
+    cluster.run_for(10_000)
+    assert ack.done
+    assert ack.rows == 40
+    assert ack.result() > 0
+    assert cluster.logger_service.pending_group_rows() == 0
+    assert cluster.collection_row_count("chaos") == 140

@@ -132,6 +132,126 @@ class TestAckBeforeDurable:
 
 
 # ----------------------------------------------------------------------
+# durability-ack-before-durable: deferred acks (group commit)
+# ----------------------------------------------------------------------
+
+_RESOLVER_PRELUDE = textwrap.dedent("""
+    from repro.log.broker import LogBroker
+
+    def shard_channel(collection, shard):
+        return f"wal/{collection}/shard-{shard}"
+
+    class AckFuture:
+        def set_result(self, lsn, rows):
+            self.done = True
+""")
+
+
+class TestAckFutureResolver:
+    """Group-commit shape: writes enter via ``*_async`` returning an
+    AckFuture; the client-visible ack is the future's resolution inside
+    the flush function, which must follow the batch publish."""
+
+    def test_resolve_before_publish_fires(self, tmp_path):
+        report = lint(tmp_path, {
+            "log/broker.py": BROKER_STUB,
+            "log/logger_node.py": _RESOLVER_PRELUDE + textwrap.dedent("""
+                class LoggerService:
+                    def __init__(self, broker: LogBroker) -> None:
+                        self._broker = broker
+                        self._groups = {}
+
+                    def flush_group(self, collection, shard):
+                        ops = self._groups.pop((collection, shard), [])
+                        for record, future in ops:
+                            future.set_result(1, 1)
+                        for record, future in ops:
+                            self._broker.publish(
+                                shard_channel(collection, shard), record)
+            """),
+        }, rule=DURABILITY_ACK)
+        assert findings_at(report, DURABILITY_ACK) == [
+            ("log/logger_node.py", 19)]
+        assert "future resolution" in report.findings[0].message
+
+    def test_resolve_after_publish_is_clean(self, tmp_path):
+        report = lint(tmp_path, {
+            "log/broker.py": BROKER_STUB,
+            "log/logger_node.py": _RESOLVER_PRELUDE + textwrap.dedent("""
+                class LoggerService:
+                    def __init__(self, broker: LogBroker) -> None:
+                        self._broker = broker
+                        self._groups = {}
+
+                    def flush_group(self, collection, shard):
+                        ops = self._groups.pop((collection, shard), [])
+                        for record, future in ops:
+                            self._broker.publish(
+                                shard_channel(collection, shard), record)
+                        for record, future in ops:
+                            future.set_result(1, 1)
+            """),
+        }, rule=DURABILITY_ACK)
+        assert report.findings == []
+
+    def test_resolver_suppression_honoured(self, tmp_path):
+        report = lint(tmp_path, {
+            "log/broker.py": BROKER_STUB,
+            "log/logger_node.py": _RESOLVER_PRELUDE + textwrap.dedent("""
+                class LoggerService:
+                    def __init__(self, broker: LogBroker) -> None:
+                        self._broker = broker
+                        self._groups = {}
+
+                    def flush_group(self, collection, shard):
+                        ops = self._groups.pop((collection, shard), [])
+                        if not ops:
+                            future = AckFuture()
+                            future.set_result(0, 0)  # manu-lint: disable=durability-ack-before-durable -- zero-effect ack
+                            return
+                        for record, future in ops:
+                            self._broker.publish(
+                                shard_channel(collection, shard), record)
+                        for record, future in ops:
+                            future.set_result(1, 1)
+            """),
+        }, rule=DURABILITY_ACK)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_async_entry_returning_future_is_not_an_ack(self, tmp_path):
+        """``insert_async`` hands back an unresolved AckFuture before the
+        publish — that is the deferred-ack contract, not a violation; the
+        resolution inside ``flush_group`` is what gets checked."""
+        report = lint(tmp_path, {
+            "log/broker.py": BROKER_STUB,
+            "log/logger_node.py": _RESOLVER_PRELUDE + textwrap.dedent("""
+                class LoggerService:
+                    def __init__(self, broker: LogBroker) -> None:
+                        self._broker = broker
+                        self._groups = {}
+
+                    def insert_async(self, collection, shard,
+                                     record) -> "AckFuture":
+                        future = AckFuture()
+                        self._groups[(collection, shard)] = \\
+                            (record, future)
+                        if len(self._groups) > 4:
+                            self.flush_group(collection, shard)
+                        return future
+
+                    def flush_group(self, collection, shard):
+                        entry = self._groups.pop((collection, shard))
+                        record, future = entry
+                        self._broker.publish(
+                            shard_channel(collection, shard), record)
+                        future.set_result(1, 1)
+            """),
+        }, rule=DURABILITY_ACK)
+        assert report.findings == []
+
+
+# ----------------------------------------------------------------------
 # durability-unlogged-mutation
 # ----------------------------------------------------------------------
 
@@ -375,12 +495,24 @@ class TestDurabilityModel:
         durable = {(p.module, p.qualname) for p in model.durable_points}
         assert ("log/logger_node.py", "Logger.publish_insert") in durable
         assert ("log/logger_node.py", "Logger.publish_delete") in durable
+        assert ("log/logger_node.py", "Logger.publish_batch") in durable
         entries = {e.func.qualname: e.ok for e in model.write_entries}
         for qualname in ("Collection.insert", "ManuCluster.insert",
+                         "ManuCluster.insert_async",
                          "Proxy.insert", "Proxy.delete", "Proxy.upsert",
-                         "Logger.publish_insert"):
+                         "Logger.publish_insert", "Logger.publish_batch",
+                         "LoggerService.insert"):
             assert qualname in entries, qualname
             assert entries[qualname], f"{qualname} ack not dominated"
+        # The group-commit resolver is modelled: its in-band resolution
+        # (after the batch publish) is dominated; the zero-effect empty-
+        # flush ack is the one suppressed site.
+        flush = [e for e in model.write_entries
+                 if e.func.qualname == "LoggerService.flush_group"]
+        assert len(flush) == 1
+        kinds = {a.kind for a in flush[0].acks}
+        assert kinds == {"future-result"}
+        assert any(a.dominated for a in flush[0].acks)
 
     def test_real_replay_handlers_are_guarded(self):
         model = build_durability_model(load_project(REPO_SRC))

@@ -10,7 +10,8 @@ from repro.errors import ClusterStateError, ObjectNotFound, StorageError
 from repro.log.binlog import BinlogReader, BinlogWriter
 from repro.log.broker import LogBroker
 from repro.log.logger_node import LoggerService, shard_bucket_key, shard_of
-from repro.log.wal import DeleteRecord, InsertRecord, shard_channel
+from repro.log.wal import BatchRecord, DeleteRecord, InsertRecord, \
+    shard_channel
 from repro.storage.object_store import ObjectStore
 
 
@@ -102,6 +103,15 @@ def _insert(service, schema, pks):
     return service.insert("coll", batch)
 
 
+def _flatten(entries):
+    """Expand group-commit BatchRecord envelopes into logical records."""
+    for entry in entries:
+        if isinstance(entry.payload, BatchRecord):
+            yield from entry.payload.records
+        else:
+            yield entry.payload
+
+
 class TestLoggerService:
     def test_insert_publishes_per_shard(self, logger_setup):
         broker, service, schema = logger_setup
@@ -109,12 +119,12 @@ class TestLoggerService:
         total = 0
         for shard in range(2):
             entries = broker.read(shard_channel("coll", shard), 0)
-            for entry in entries:
-                assert isinstance(entry.payload, InsertRecord)
-                assert entry.payload.shard == shard
+            for record in _flatten(entries):
+                assert isinstance(record, InsertRecord)
+                assert record.shard == shard
                 assert all(shard_of(pk, 2) == shard
-                           for pk in entry.payload.pks)
-                total += entry.payload.num_rows
+                           for pk in record.pks)
+                total += record.num_rows
         assert total == 40
 
     def test_lsn_monotone_across_inserts(self, logger_setup):
@@ -137,9 +147,10 @@ class TestLoggerService:
         assert deleted == 1
         records = []
         for shard in range(2):
-            for entry in broker.read(shard_channel("coll", shard), 0):
-                if isinstance(entry.payload, DeleteRecord):
-                    records.append(entry.payload)
+            for record in _flatten(
+                    broker.read(shard_channel("coll", shard), 0)):
+                if isinstance(record, DeleteRecord):
+                    records.append(record)
         assert len(records) == 1 and records[0].pks == (2,)
         assert service.lookup_segment("coll", 2) is None
 

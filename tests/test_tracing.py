@@ -187,7 +187,8 @@ class TestEndToEndTraces:
         assert {"proxy", "logger", "data-node",
                 "query-node"} <= components
         names = {s.name for s in spans}
-        assert "logger.publish_insert" in names
+        # Group commit wraps the insert in a coalesced batch publish.
+        assert "logger.publish_batch" in names
         assert "data_coord.seal" in names
         assert "data_node.flush" in names
         assert "index_node.build" in names
