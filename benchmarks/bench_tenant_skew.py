@@ -1,0 +1,297 @@
+"""Multi-tenant skew: fenced rebalancing and QoS isolation.
+
+A Zipf(1.1) tenant mix is the adversarial input for static shard
+placement: a handful of tenants carry most of the query traffic, and
+the initial round-robin channel assignment stacks every
+collection's shard-``k`` on the same query node, so a few nodes soak the
+whole cluster's serving load while the rest idle.
+
+Two measurements:
+
+* **rebalancing** — ingest the skewed mix with sealing disabled (all
+  rows stay in growing segments, so serving load follows channel
+  ownership), measure the per-node serving imbalance (max/mean of
+  per-node search service time over an identical probe phase) before
+  and after ``rebalance_tenants()``.  Acceptance: the measured
+  imbalance drops by at least ``MIN_IMBALANCE_REDUCTION``x, and the
+  strong-consistency probe results are hit-for-hit identical across
+  the migration — fenced handoff loses no row and duplicates none;
+* **QoS isolation** — a gold tenant's search p99 (virtual ms) is
+  measured alone, then again while a bronze tenant floods at its
+  quota.  Acceptance: quota rejection at the proxy keeps the noisy
+  neighbour from pushing gold p99 more than ``MAX_GOLD_P99_GROWTH``x
+  above its no-noise baseline.
+
+Results land in ``BENCH_tenant_skew.json`` at the repo root.
+``MANU_BENCH_QUICK=1`` (CI smoke) trims tenants, rows and searches but
+keeps every assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.manu import ManuCluster
+from repro.config import ManuConfig, SegmentConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.core.schema import CollectionSchema, DataType, FieldSchema
+from repro.errors import QuotaExceeded
+from repro.tenancy import TenantQuota
+
+from conftest import print_series
+
+QUICK = os.environ.get("MANU_BENCH_QUICK", "") not in ("", "0")
+
+DIM = 16
+N_TENANTS = 6 if QUICK else 8
+TOTAL_ROWS = 1_200 if QUICK else 4_000
+TOTAL_SEARCHES = 120 if QUICK else 360
+ZIPF_S = 1.1
+QUERY_NODES = 6
+PROBES_PER_TENANT = 4
+MIN_IMBALANCE_REDUCTION = 2.0
+
+GOLD_SEARCHES = 60 if QUICK else 120
+GOLD_GAP_MS = 10.0
+BRONZE_ATTEMPT_GAP_MS = 1.0
+BRONZE_QUOTA_QPS = 10.0
+BRONZE_BURST_S = 0.25
+MAX_GOLD_P99_GROWTH = 1.2
+
+
+def _schema() -> CollectionSchema:
+    return CollectionSchema([
+        FieldSchema("pk", DataType.INT64, is_primary=True),
+        FieldSchema("vector", DataType.FLOAT_VECTOR, dim=DIM),
+    ])
+
+
+def _zipf_weights(n: int) -> np.ndarray:
+    raw = 1.0 / np.arange(1, n + 1) ** ZIPF_S
+    return raw / raw.sum()
+
+
+def _skewed_cluster(rng) -> tuple[ManuCluster, list[str]]:
+    """Zipf(1.1) search-traffic mix with sealing disabled: serving load
+    tracks WAL channel ownership exactly (every row stays growing).
+    Row counts are uniform so per-search cost is comparable across
+    tenants; the skew lives in the request trace."""
+    config = ManuConfig(
+        segment=SegmentConfig(seal_entity_count=1_000_000))
+    cluster = ManuCluster(config=config, num_query_nodes=QUERY_NODES,
+                          num_index_nodes=1, num_loggers=2)
+    rows = TOTAL_ROWS // N_TENANTS
+    names = []
+    for i in range(N_TENANTS):
+        tenant = f"tenant-{i}"
+        cluster.create_tenant(tenant)
+        physical = cluster.tenant_create_collection(tenant, "items",
+                                                    _schema())
+        names.append(physical)
+        cluster.insert(physical, {
+            "pk": list(range(rows)),
+            "vector": rng.standard_normal((rows, DIM))
+            .astype(np.float32)}, tenant=tenant)
+    cluster.run_for(500)
+    return cluster, names
+
+
+def _search_phase(cluster, names, queries) -> dict[str, float]:
+    """Run the fixed Zipf-weighted search trace; returns each node's
+    search service-time delta (the measured serving load)."""
+    nodes = cluster.query_coord.live_nodes()
+    before = {n.name: n.service_ms_total for n in nodes}
+    weights = _zipf_weights(N_TENANTS)
+    for i, physical in enumerate(names):
+        tenant = f"tenant-{i}"
+        count = max(2, int(TOTAL_SEARCHES * weights[i]))
+        for j in range(count):
+            cluster.search(physical, queries[i][j % len(queries[i])], 5,
+                           tenant=tenant)
+    return {n.name: n.service_ms_total - before[n.name] for n in nodes}
+
+
+def _imbalance(loads: dict[str, float]) -> float:
+    values = list(loads.values())
+    mean = sum(values) / len(values)
+    return max(values) / mean if mean > 0 else 1.0
+
+
+def _probe_snapshot(cluster, names, probes) -> list:
+    """Strong-consistency top-5 results: the hit-for-hit fingerprint."""
+    out = []
+    for i, physical in enumerate(names):
+        for probe in probes[i]:
+            result = cluster.search(
+                physical, probe, 5, tenant=f"tenant-{i}",
+                consistency=ConsistencyLevel.STRONG)[0]
+            out.append((physical, tuple(int(pk) for pk in result.pks),
+                        tuple(float(d) for d in
+                              np.round(result.distances, 4))))
+    return out
+
+
+def _gold_p99_ms(rng, with_bronze_noise: bool) -> tuple[float, int]:
+    """Gold search p99 in virtual ms, optionally beside a bronze tenant
+    flooding at quota; returns (p99, bronze rejections)."""
+    cluster = ManuCluster(num_query_nodes=2, num_index_nodes=1,
+                          num_loggers=2)
+    cluster.create_tenant("gold", qos="gold")
+    gold_coll = cluster.tenant_create_collection("gold", "items",
+                                                 _schema())
+    cluster.insert(gold_coll, {
+        "pk": list(range(256)),
+        "vector": rng.standard_normal((256, DIM)).astype(np.float32)},
+        tenant="gold")
+    bronze_coll = None
+    if with_bronze_noise:
+        cluster.create_tenant(
+            "bronze", qos="bronze",
+            quota=TenantQuota(search_qps=BRONZE_QUOTA_QPS,
+                              burst_s=BRONZE_BURST_S))
+        bronze_coll = cluster.tenant_create_collection(
+            "bronze", "items", _schema())
+        cluster.insert(bronze_coll, {
+            "pk": list(range(256)),
+            "vector": rng.standard_normal((256, DIM))
+            .astype(np.float32)}, tenant="bronze")
+    cluster.run_for(500)
+
+    queries = rng.standard_normal((GOLD_SEARCHES, DIM)).astype(np.float32)
+    noise = rng.standard_normal((64, DIM)).astype(np.float32)
+    latencies: list[float] = []
+    rejections = 0
+    span_ms = GOLD_SEARCHES * GOLD_GAP_MS
+    next_bronze = 0.0
+    for i in range(GOLD_SEARCHES):
+        target = i * GOLD_GAP_MS
+        # The bronze tenant hammers between gold arrivals; the quota
+        # bucket (not queueing behind gold) absorbs the excess.
+        while with_bronze_noise and next_bronze < target:
+            if cluster.now() < next_bronze:
+                cluster.run_until(next_bronze)
+            try:
+                cluster.search(bronze_coll,
+                               noise[int(next_bronze) % len(noise)], 5,
+                               tenant="bronze")
+            except QuotaExceeded:
+                rejections += 1
+            next_bronze += BRONZE_ATTEMPT_GAP_MS
+        if cluster.now() < target:
+            cluster.run_until(target)
+        # latency_ms is the simulated end-to-end time: consistency wait
+        # plus queueing behind whatever busy_until the noisy neighbour
+        # left on the query nodes, plus service and merge cost.
+        result = cluster.search(gold_coll, queries[i], 5,
+                                tenant="gold")[0]
+        latencies.append(result.latency_ms)
+    cluster.run_for(span_ms)
+    return float(np.percentile(latencies, 99)), rejections
+
+
+def test_tenant_skew_rebalance(benchmark, rng):
+    results: dict = {}
+
+    def run() -> None:
+        cluster, names = _skewed_cluster(rng)
+        weights = _zipf_weights(N_TENANTS)
+        queries = [rng.standard_normal(
+            (max(4, int(TOTAL_SEARCHES * w)), DIM)).astype(np.float32)
+            for w in weights]
+        probes = [rng.standard_normal(
+            (PROBES_PER_TENANT, DIM)).astype(np.float32)
+            for _ in range(N_TENANTS)]
+
+        loads_before = _search_phase(cluster, names, queries)
+        snapshot_before = _probe_snapshot(cluster, names, probes)
+        model_before = cluster.rebalancer.serving_report().imbalance
+
+        moves = cluster.rebalance_tenants()
+        cluster.run_for(1_000)
+
+        loads_after = _search_phase(cluster, names, queries)
+        snapshot_after = _probe_snapshot(cluster, names, probes)
+        model_after = cluster.rebalancer.serving_report().imbalance
+
+        results["imbalance_before"] = _imbalance(loads_before)
+        results["imbalance_after"] = _imbalance(loads_after)
+        results["model_imbalance_before"] = model_before
+        results["model_imbalance_after"] = model_after
+        results["loads_before"] = loads_before
+        results["loads_after"] = loads_after
+        results["moves"] = [m.to_dict() for m in moves]
+        results["probes_identical"] = snapshot_before == snapshot_after
+
+        p99_alone, _ = _gold_p99_ms(rng, with_bronze_noise=False)
+        p99_noisy, rejections = _gold_p99_ms(rng, with_bronze_noise=True)
+        results["gold_p99_alone_ms"] = p99_alone
+        results["gold_p99_noisy_ms"] = p99_noisy
+        results["bronze_rejections"] = rejections
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    reduction = results["imbalance_before"] / results["imbalance_after"]
+    rows = [("measured (service ms)", results["imbalance_before"],
+             results["imbalance_after"], reduction),
+            ("load model", results["model_imbalance_before"],
+             results["model_imbalance_after"],
+             results["model_imbalance_before"]
+             / results["model_imbalance_after"])]
+    print_series(
+        f"Zipf({ZIPF_S}) tenant skew: serving imbalance (max/mean) "
+        f"across {QUERY_NODES} query nodes, "
+        f"{len(results['moves'])} fenced moves",
+        ["surface", "before", "after", "reduction"], rows)
+    print_series(
+        "QoS isolation: gold search p99 (virtual ms)",
+        ["scenario", "p99 (vms)"],
+        [("gold alone", results["gold_p99_alone_ms"]),
+         (f"with bronze flood at {BRONZE_QUOTA_QPS:g} qps quota "
+          f"({results['bronze_rejections']} rejected)",
+          results["gold_p99_noisy_ms"])])
+
+    out_path = Path(__file__).resolve().parent.parent \
+        / "BENCH_tenant_skew.json"
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump({
+            "quick": QUICK, "tenants": N_TENANTS, "zipf_s": ZIPF_S,
+            "total_rows": TOTAL_ROWS, "query_nodes": QUERY_NODES,
+            "min_imbalance_reduction": MIN_IMBALANCE_REDUCTION,
+            "max_gold_p99_growth": MAX_GOLD_P99_GROWTH,
+            "imbalance_before": results["imbalance_before"],
+            "imbalance_after": results["imbalance_after"],
+            "reduction": reduction,
+            "model_imbalance_before":
+                results["model_imbalance_before"],
+            "model_imbalance_after": results["model_imbalance_after"],
+            "loads_before": results["loads_before"],
+            "loads_after": results["loads_after"],
+            "moves": results["moves"],
+            "probes_identical": results["probes_identical"],
+            "gold_p99_alone_ms": results["gold_p99_alone_ms"],
+            "gold_p99_noisy_ms": results["gold_p99_noisy_ms"],
+            "bronze_rejections": results["bronze_rejections"],
+        }, f, indent=2)
+
+    assert results["probes_identical"], (
+        "fenced migration changed strong-consistency results")
+    assert results["moves"], "the skewed mix must trigger moves"
+    assert reduction >= MIN_IMBALANCE_REDUCTION, (
+        f"rebalancing must cut measured serving imbalance by >= "
+        f"{MIN_IMBALANCE_REDUCTION}x, got {reduction:.2f}x "
+        f"({results['imbalance_before']:.2f} -> "
+        f"{results['imbalance_after']:.2f})")
+    assert results["bronze_rejections"] > 0, (
+        "the bronze flood must exceed its quota")
+    headroom = max(results["gold_p99_alone_ms"], 1.0) \
+        * MAX_GOLD_P99_GROWTH
+    assert results["gold_p99_noisy_ms"] <= headroom, (
+        f"bronze noise pushed gold p99 to "
+        f"{results['gold_p99_noisy_ms']:.2f} vms, above "
+        f"{headroom:.2f} vms "
+        f"({MAX_GOLD_P99_GROWTH}x the {results['gold_p99_alone_ms']:.2f}"
+        " vms baseline)")

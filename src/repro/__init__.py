@@ -33,7 +33,13 @@ from repro.analysis import (
     build_durability_model,
     durability_model_for_root,
 )
-from repro.api.pymanu import Collection, connect, connections, parse_metric
+from repro.api.pymanu import (
+    Collection,
+    Tenant,
+    connect,
+    connections,
+    parse_metric,
+)
 from repro.cluster.manu import ManuCluster
 from repro.config import ManuConfig
 from repro.core.consistency import ConsistencyLevel
@@ -56,10 +62,20 @@ from repro.errors import (
     MonotonicityViolation,
     NodeNotFound,
     ObjectNotFound,
+    FencedWriteError,
+    QuotaExceeded,
     RevisionConflict,
     SchemaError,
     StorageError,
+    TenantError,
+    TenantNotFound,
     TimeTravelError,
+)
+from repro.tenancy import (
+    QosClass,
+    ShardRebalancer,
+    TenantQuota,
+    TenantRegistry,
 )
 from repro.race import run_race_sweep
 from repro.sim.clock import (
@@ -116,6 +132,15 @@ __all__ = [
     "NodeNotFound",
     "ClusterStateError",
     "TimeTravelError",
+    "Tenant",
+    "TenantError",
+    "TenantNotFound",
+    "TenantQuota",
+    "TenantRegistry",
+    "QosClass",
+    "QuotaExceeded",
+    "FencedWriteError",
+    "ShardRebalancer",
     "MANU_RACE_ENV",
     "SchedulePolicy",
     "ShuffledSchedulePolicy",

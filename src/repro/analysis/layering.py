@@ -34,6 +34,7 @@ FORBIDDEN_EDGES = {
     "index": ("nodes", "coord", "cluster", "api", "monitoring"),
     "storage": ("nodes", "coord", "cluster", "api", "monitoring"),
     "log": ("nodes", "monitoring"),
+    "tenancy": ("nodes", "coord", "cluster", "api", "monitoring"),
     "tracing": ("nodes", "coord", "cluster", "api", "log", "monitoring"),
     "monitoring": ("nodes", "coord", "api", "log"),
 }

@@ -29,7 +29,7 @@ from repro.analysis.summaries import (
 #: subscribes freely — harnesses are not part of the architecture.
 CHECKED_LAYERS = frozenset({
     "log", "nodes", "coord", "coproc", "cluster", "core", "api",
-    "storage", "sim", "baselines", "monitoring", "tracing",
+    "storage", "sim", "baselines", "monitoring", "tenancy", "tracing",
 })
 
 _BROKER_ACTIONS = {"publish": "publish", "subscribe": "subscribe"}

@@ -49,10 +49,12 @@ DECLARED_PUBLISHERS: dict[str, frozenset[str]] = {
     }),
     COORD: frozenset({
         # Control records: seal decisions (data coord), flush acks (data
-        # nodes) and index-built notices (index nodes).
+        # nodes), index-built notices (index nodes) and shard-migration
+        # announcements (the fenced rebalancer).
         "coord/data.py",
         "nodes/data_node.py",
         "nodes/index_node.py",
+        "tenancy/rebalancer.py",
     }),
     DYNAMIC_GROUP: frozenset({
         # The archiver restores arbitrary channels into a fresh broker;

@@ -106,9 +106,21 @@ class Collection:
     """ORM-style handle on one collection (Table 2)."""
 
     def __init__(self, name: str, schema: Optional[CollectionSchema] = None,
-                 using: str = "default") -> None:
+                 using: str = "default",
+                 tenant: Optional[str] = None) -> None:
         self.name = name
+        self.tenant = tenant
         self._cluster = connections.get(using)
+        if tenant is not None:
+            # Namespace + authorize before touching the physical layer;
+            # an unregistered logical name with a schema is a creation.
+            info = self._cluster.tenants.get(tenant)
+            if name not in info.collections and schema is not None:
+                self.name = self._cluster.tenant_create_collection(
+                    tenant, name, schema)
+                self.schema = schema
+                return
+            self.name = name = self._cluster.tenants.resolve(tenant, name)
         existing = self._cluster.root_coord.get_schema(name)
         if existing is None:
             if schema is None:
@@ -129,11 +141,11 @@ class Collection:
 
     def insert(self, data: Mapping) -> tuple:
         """``Collection.insert(vec)``: insert entities; returns their pks."""
-        return self._cluster.insert(self.name, data)
+        return self._cluster.insert(self.name, data, tenant=self.tenant)
 
     def delete(self, expr: str) -> int:
         """``Collection.delete(expr)``: delete by primary-key expression."""
-        return self._cluster.delete(self.name, expr)
+        return self._cluster.delete(self.name, expr, tenant=self.tenant)
 
     def create_index(self, field: str, params: Mapping) -> None:
         """``Collection.create_index(field, params)``.
@@ -173,7 +185,7 @@ class Collection:
         return self._cluster.search(
             self.name, np.asarray(vec, dtype=np.float32), limit,
             field=field, metric=metric, expr=expr, consistency=level,
-            staleness_ms=staleness_ms)
+            staleness_ms=staleness_ms, tenant=self.tenant)
 
     def query(self, vec=None, param: Optional[Mapping] = None,
               expr: Optional[str] = None, limit: int = 10,
@@ -203,11 +215,12 @@ class Collection:
 
     def get(self, pks) -> dict:
         """Fetch entities' field values by primary key."""
-        return self._cluster.get(self.name, list(pks))
+        return self._cluster.get(self.name, list(pks),
+                                 tenant=self.tenant)
 
     def upsert(self, data: Mapping) -> tuple:
         """Replace-or-insert entities by explicit primary key."""
-        return self._cluster.upsert(self.name, data)
+        return self._cluster.upsert(self.name, data, tenant=self.tenant)
 
     def range_search(self, vec, radius: float,
                      field: Optional[str] = None,
@@ -241,4 +254,57 @@ class Collection:
         return self._cluster.collection_row_count(self.name)
 
     def drop(self) -> None:
-        self._cluster.drop_collection(self.name)
+        if self.tenant is not None:
+            from repro.tenancy import split_physical
+            _, logical = split_physical(self.name)
+            self._cluster.tenant_drop_collection(self.tenant, logical)
+        else:
+            self._cluster.drop_collection(self.name)
+
+
+class Tenant:
+    """Handle on one registered tenant: the namespaced API surface.
+
+    Collections opened through a tenant handle are namespaced
+    (``tenant::collection``), authorized against the tenant's registry
+    entry, and admitted against its QoS quota buckets at the proxy::
+
+        gold = Tenant.create("acme", qos="gold",
+                             quota=TenantQuota(search_qps=100))
+        products = gold.create_collection("products", schema)
+        products.insert({...})          # charged to acme's insert bucket
+    """
+
+    def __init__(self, name: str, using: str = "default") -> None:
+        self.name = name
+        self._using = using
+        self._cluster = connections.get(using)
+        self._cluster.tenants.get(name)  # must exist
+
+    @classmethod
+    def create(cls, name: str, qos: str = "silver", quota=None,
+               using: str = "default") -> "Tenant":
+        connections.get(using).create_tenant(name, qos=qos, quota=quota)
+        return cls(name, using=using)
+
+    @property
+    def info(self):
+        return self._cluster.tenants.get(self.name)
+
+    def create_collection(self, name: str,
+                          schema: CollectionSchema) -> Collection:
+        return Collection(name, schema, using=self._using,
+                          tenant=self.name)
+
+    def collection(self, name: str) -> Collection:
+        """Open an existing collection in this tenant's namespace."""
+        return Collection(name, using=self._using, tenant=self.name)
+
+    def list_collections(self) -> list[str]:
+        return sorted(self.info.collections)
+
+    def set_quota(self, quota) -> None:
+        self._cluster.set_tenant_quota(self.name, quota)
+
+    def drop(self) -> None:
+        self._cluster.drop_tenant(self.name)

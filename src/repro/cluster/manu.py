@@ -20,6 +20,7 @@ travel), and elasticity (``add_query_node``, ``remove_query_node``,
 from __future__ import annotations
 
 import itertools
+import json
 from typing import Callable, Mapping, Optional
 
 
@@ -55,7 +56,13 @@ from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.events import EventLoop
 from repro.storage.metastore import MetaStore
 from repro.storage.object_store import Backend, ObjectStore
+from repro.tenancy import (AdmissionController, Move, QosClass,
+                           ShardRebalancer, TenantDirectory, TenantInfo,
+                           TenantQuota, TenantRegistry, physical_name)
 from repro.tracing import TraceCollector
+
+#: object-store key the tenancy plane checkpoints itself under.
+TENANCY_STATE_KEY = "tenancy/state.json"
 
 
 class ManuCluster:
@@ -144,6 +151,26 @@ class ManuCluster:
             group_commit_bytes=self.config.log.group_commit_bytes,
             group_commit_window_ms=self.config.log.group_commit_window_ms)
 
+        # Tenancy plane: registry + directory (restored from the object
+        # store when a prior incarnation persisted them, so placement
+        # overrides and fence epochs survive crash-recovery), admission
+        # control on the virtual clock, and the fenced rebalancer.  The
+        # tenancy layer never imports upward; the cluster hands it
+        # duck-typed hooks instead.
+        self.tenants = TenantRegistry()
+        self.directory = TenantDirectory()
+        self._load_tenancy_state()
+        self.admission = AdmissionController(self.tenants, self.loop.now)
+        self.rebalancer = ShardRebalancer(
+            self.broker, self.tso, self.directory,
+            coord_channel=self.config.log.coord_channel,
+            tracer=self.tracer)
+        self.rebalancer.serving = self.query_coord
+        self.rebalancer.logging = self.logger_service
+        self.rebalancer.search_load_fn = self._search_loads
+        self.logger_service.route_override = self.directory.bucket_override
+        self.logger_service.fence_epoch_fn = self.directory.fence_epoch
+
         # Workers.
         self._node_seq = itertools.count()
         self.data_nodes: list[DataNode] = []
@@ -168,7 +195,8 @@ class ManuCluster:
                 f"proxy-{i}", self.loop, self.tso, self.config,
                 self.cost_model, self.logger_service, self.root_coord,
                 self.query_coord, metrics=self.metrics,
-                tracer=self.tracer))
+                tracer=self.tracer, tenants=self.tenants,
+                admission=self.admission))
         self._proxy_rr = itertools.cycle(range(num_proxies))
 
         # Time ticks on every data channel plus the coordination channel.
@@ -219,6 +247,8 @@ class ManuCluster:
     def _wire_collection(self, name: str,
                          schema: CollectionSchema) -> None:
         channels = self.logger_service.ensure_channels(name)
+        self.directory.place_collection(name,
+                                        self.config.log.num_shards)
         for channel in channels:
             self.timetick.add_channel(channel)
             data_node = self.data_nodes[next(self._data_rr)
@@ -231,6 +261,7 @@ class ManuCluster:
 
     def _unwire_collection(self, name: str) -> None:
         self.query_coord.release_collection(name)
+        self.directory.drop_collection(name)
         for shard in range(self.config.log.num_shards):
             channel = shard_channel(name, shard)
             self.timetick.remove_channel(channel)
@@ -381,6 +412,16 @@ class ManuCluster:
         pending_family.set_gauges({
             (): float(self.logger_service.pending_group_rows())})
 
+        tenant_shard_family = metrics.gauge_family(
+            "tenant_shard_count", ("tenant",),
+            help="WAL shards across a tenant's collections",
+            unit="shards")
+        tenant_shard_family.set_gauges({
+            (tenant,): float(sum(
+                self.directory.num_shards(physical_name(tenant, logical))
+                for logical in self.tenants.get(tenant).collections))
+            for tenant in self.tenants.tenant_names})
+
         health_family = metrics.gauge_family(
             "component_health", ("component",),
             help="0=healthy 1=degraded 2=down")
@@ -442,15 +483,18 @@ class ManuCluster:
     def drop_collection(self, name: str) -> None:
         self.root_coord.drop_collection(name)
 
-    def insert(self, collection: str, data: Mapping) -> tuple:
-        return self.proxy().insert(collection, data)
+    def insert(self, collection: str, data: Mapping,
+               tenant: Optional[str] = None) -> tuple:
+        return self.proxy().insert(collection, data, tenant=tenant)
 
-    def insert_async(self, collection: str, data: Mapping) -> tuple:
+    def insert_async(self, collection: str, data: Mapping,
+                     tenant: Optional[str] = None) -> tuple:
         """Group-commit insert: ``(pks, AckFuture)``; ack at flush time."""
-        return self.proxy().insert_async(collection, data)
+        return self.proxy().insert_async(collection, data, tenant=tenant)
 
-    def delete(self, collection: str, expr: str) -> int:
-        return self.proxy().delete(collection, expr)
+    def delete(self, collection: str, expr: str,
+               tenant: Optional[str] = None) -> int:
+        return self.proxy().delete(collection, expr, tenant=tenant)
 
     def delete_async(self, collection: str, expr: str):
         """Group-commit delete: an ``AckFuture`` resolved at flush time."""
@@ -462,23 +506,27 @@ class ManuCluster:
                expr: Optional[str] = None,
                consistency: ConsistencyLevel = ConsistencyLevel.BOUNDED,
                staleness_ms: float = 100.0,
-               at_ms: Optional[float] = None) -> list[SearchResult]:
+               at_ms: Optional[float] = None,
+               tenant: Optional[str] = None) -> list[SearchResult]:
         return self.proxy().search(collection, queries, k, field=field,
                                    metric=metric, expr=expr,
                                    consistency=consistency,
-                                   staleness_ms=staleness_ms, at_ms=at_ms)
+                                   staleness_ms=staleness_ms, at_ms=at_ms,
+                                   tenant=tenant)
 
     def search_multivector(self, collection: str, query: MultiVectorQuery,
                            k: int) -> SearchResult:
         return self.proxy().search_multivector(collection, query, k)
 
-    def get(self, collection: str, pks) -> dict:
+    def get(self, collection: str, pks,
+            tenant: Optional[str] = None) -> dict:
         """Point reads: pk -> {field: value} for live entities."""
-        return self.proxy().get(collection, pks)
+        return self.proxy().get(collection, pks, tenant=tenant)
 
-    def upsert(self, collection: str, data: Mapping) -> tuple:
+    def upsert(self, collection: str, data: Mapping,
+               tenant: Optional[str] = None) -> tuple:
         """Replace-or-insert by explicit primary key."""
-        return self.proxy().upsert(collection, data)
+        return self.proxy().upsert(collection, data, tenant=tenant)
 
     def range_search(self, collection: str, query, radius: float,
                      field: Optional[str] = None,
@@ -501,6 +549,81 @@ class ManuCluster:
             raise ManuError(f"collection {collection!r} does not exist")
         self.index_coord.create_index(collection, field, index_type,
                                       metric, params)
+
+    # ------------------------------------------------------------------
+    # multi-tenancy
+    # ------------------------------------------------------------------
+
+    def create_tenant(self, name: str,
+                      qos: QosClass | str = QosClass.SILVER,
+                      quota: Optional[TenantQuota] = None) -> TenantInfo:
+        """Register a tenant with a QoS class and optional quotas."""
+        info = self.tenants.create(name, qos=qos, quota=quota)
+        self._save_tenancy_state()
+        return info
+
+    def drop_tenant(self, name: str) -> None:
+        """Drop a tenant and every collection it owns."""
+        info = self.tenants.get(name)
+        for logical in sorted(info.collections):
+            physical = physical_name(name, logical)
+            if self.root_coord.has_collection(physical):
+                self.root_coord.drop_collection(physical)
+        self.tenants.drop(name)
+        self.admission.drop_tenant(name)
+        self._save_tenancy_state()
+
+    def set_tenant_quota(self, name: str, quota: TenantQuota) -> None:
+        self.tenants.set_quota(name, quota)
+        self._save_tenancy_state()
+
+    def tenant_create_collection(self, tenant: str, collection: str,
+                                 schema: CollectionSchema) -> str:
+        """Create ``collection`` inside the tenant's namespace; returns
+        the physical (namespaced) collection name."""
+        physical = self.tenants.register_collection(tenant, collection)
+        self.root_coord.create_collection(physical, schema)
+        self._save_tenancy_state()
+        return physical
+
+    def tenant_drop_collection(self, tenant: str, collection: str) -> None:
+        physical = self.tenants.drop_collection(tenant, collection)
+        if self.root_coord.has_collection(physical):
+            self.root_coord.drop_collection(physical)
+        self._save_tenancy_state()
+
+    def rebalance_tenants(self, max_moves: int = 16) -> list[Move]:
+        """Detect hot shards and execute fenced split/migrate moves."""
+        moves = self.rebalancer.rebalance(max_moves=max_moves)
+        if moves:
+            self._save_tenancy_state()
+        return moves
+
+    def _search_loads(self) -> dict[str, float]:
+        """Per-collection search units served, summed over proxies
+        (serving-load attribution for the rebalancer)."""
+        loads: dict[str, float] = {}
+        for proxy in self.proxies:
+            for collection, count in proxy.search_counts.items():
+                loads[collection] = loads.get(collection, 0.0) + count
+        return loads
+
+    def _save_tenancy_state(self) -> None:
+        """Persist registry + directory so tenancy (including fence
+        epochs and placement overrides) survives crash-recovery."""
+        state = {"registry": self.tenants.to_dict(),
+                 "directory": self.directory.to_dict()}
+        self.store.put(TENANCY_STATE_KEY,
+                       json.dumps(state, sort_keys=True).encode())
+
+    def _load_tenancy_state(self) -> None:
+        if not self.store.exists(TENANCY_STATE_KEY):
+            return
+        state = json.loads(self.store.get(TENANCY_STATE_KEY).decode())
+        self.tenants = TenantRegistry.from_dict(
+            state.get("registry", {}))
+        self.directory = TenantDirectory.from_dict(
+            state.get("directory", {}))
 
     # ------------------------------------------------------------------
     # lifecycle helpers
@@ -535,6 +658,9 @@ class ManuCluster:
         return self.run_until_condition(ready, max_ms=max_ms)
 
     def checkpoint(self, collection: str) -> Checkpoint:
+        # Tenancy state (fence epochs, placement overrides) checkpoints
+        # alongside the data so recovery never un-fences a shard.
+        self._save_tenancy_state()
         return self.data_coord.checkpoint_collection(
             collection, self.config.log.num_shards)
 
@@ -654,11 +780,16 @@ class ManuCluster:
         shard and persisted as SSTables in object storage (Section 3.3).
         """
         self.logger_service.remove_logger(name)
+        # Placement overrides pointing at the dead logger are stale; the
+        # ring re-places those buckets until the rebalancer runs again.
+        if self.directory.clear_overrides_for(name):
+            self._save_tenancy_state()
         self.health.mark_down(f"logger:{name}")
 
-    def add_logger(self, name: str) -> None:
-        """Scale the logger tier up by one node."""
-        self.logger_service.add_logger(name)
+    def add_logger(self, name: str, weight: float = 1.0) -> None:
+        """Scale the logger tier up by one node (``weight`` scales its
+        virtual-node count on the placement ring)."""
+        self.logger_service.add_logger(name, weight=weight)
 
     @property
     def num_query_nodes(self) -> int:

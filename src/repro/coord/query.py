@@ -298,6 +298,94 @@ class QueryCoordinator:
         self._loop.call_after(after_ms, release,
                               name=f"handoff:{segment_id}")
 
+    def migrate_channel(self, channel: str, target_name: str) -> int:
+        """Fenced serving handoff of a WAL channel to ``target_name``.
+
+        Protocol (the rebalancer bumps the shard's fence epoch in the
+        tenant directory before calling this):
+
+        1. the old owner is *disowned* — post-fence inserts no longer
+           materialize there (it keeps consuming deletions and ticks,
+           and keeps serving its existing growing copies);
+        2. the new owner re-subscribes ``owned`` from the handoff LSN
+           (the recorded flushed offset) and replays the tail — the
+           per-segment ``max_insert_lsn`` watermark makes the replay
+           idempotent, so no record is applied twice;
+        3. once the new owner's cursor catches up, the old owner's
+           growing copies for that shard are released.
+
+        Returns the handoff LSN the new owner replays from.
+        """
+        collection = self._channel_collection.get(channel)
+        if collection is None:
+            raise ClusterStateError(f"channel {channel!r} is not loaded")
+        target = self._node(target_name)
+        if not target.alive:
+            raise ClusterStateError(
+                f"query node {target_name!r} is not alive")
+        replay_from = int(self._meta.get_value(
+            f"flushed_offsets/{collection}/{channel}", 0))
+        old_name = self._channel_owner.get(channel)
+        if old_name == target_name:
+            return replay_from
+        old = self._nodes.get(old_name) if old_name else None
+        if old is not None and old.alive:
+            old.disown_channel(channel)
+        target.unsubscribe(channel)
+        target.subscribe(collection, channel, owned=True,
+                         from_offset=replay_from)
+        self._channel_owner[channel] = target_name
+        if old is not None and old.alive:
+            self._schedule_handoff_release(channel, collection,
+                                           old_name, target_name)
+        return replay_from
+
+    def _schedule_handoff_release(self, channel: str, collection: str,
+                                  old_name: str, new_name: str,
+                                  poll_ms: float = 50.0) -> None:
+        """Release the fenced owner's growing copies once the migration
+        target has fully replayed the channel.
+
+        Until then both nodes serve the shard's growing rows — safe, as
+        with sealed handoff, because proxies deduplicate results and row
+        counts deduplicate by segment id.  If the target dies mid-
+        migration, the failure path re-replays the channel on another
+        node and the fenced copies (now stale) are dropped immediately.
+
+        Catch-up is judged against the channel end *at handoff time*:
+        live lag would chase in-flight time-ticks forever, but every
+        record the fenced copy could possibly hold sits below the
+        handoff-time end offset.
+        """
+        shard = int(channel.rsplit("shard-", 1)[1])
+        handoff_end = self._broker.end_offset(channel)
+
+        def check() -> None:
+            old = self._nodes.get(old_name)
+            if old is None or not old.alive:
+                return
+            new = self._nodes.get(new_name)
+            owner = self._channel_owner.get(channel)
+            if new is None or not new.alive or owner != new_name:
+                # Target died or ownership moved again.  Unless it came
+                # back to the old node (which then resumes materializing
+                # and re-converges via the LSN watermark), its half-
+                # fenced copies are stale — release them; the current
+                # owner's replay rebuilds complete ones.
+                if owner != old_name:
+                    for sid in old.growing_of_shard(collection, shard):
+                        old.release_segment(collection, sid)
+                return
+            if new.channel_position(channel) < handoff_end:
+                self._loop.call_after(poll_ms, check,
+                                      name=f"migrate:{channel}")
+                return
+            for sid in old.growing_of_shard(collection, shard):
+                if new.is_growing(collection, sid):
+                    old.release_segment(collection, sid)
+
+        self._loop.call_after(poll_ms, check, name=f"migrate:{channel}")
+
     def _move_channel(self, channel: str,
                       exclude: set[str] = frozenset()) -> None:
         """Reassign channel ownership; the new owner replays the WAL tail."""
@@ -419,6 +507,11 @@ class QueryCoordinator:
                     out.setdefault(name, []).append(sid)
         return out
 
-    def channel_owners(self, collection: str) -> dict[str, str]:
+    def channel_owners(self, collection: Optional[str] = None
+                       ) -> dict[str, str]:
+        """Channel -> owning node; all loaded collections when ``None``
+        (the rebalancer's whole-cluster serving view)."""
+        if collection is None:
+            return dict(self._channel_owner)
         return {c: o for c, o in self._channel_owner.items()
                 if self._channel_collection.get(c) == collection}

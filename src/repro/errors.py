@@ -82,5 +82,37 @@ class TimeTravelError(ManuError):
     """Database restore to the requested timestamp is impossible."""
 
 
+class TenantError(ManuError):
+    """Base class for multi-tenancy errors (registry, quotas, fencing)."""
+
+
+class TenantNotFound(TenantError):
+    """The referenced tenant is not registered."""
+
+
+class TenantAlreadyExists(TenantError):
+    """A tenant with this name already exists."""
+
+
+class QuotaExceeded(TenantError):
+    """A tenant request was rejected by its QoS quota bucket.
+
+    Deliberately distinct from :class:`ClusterStateError`: a quota
+    rejection means *this tenant* is over its contracted rate, not that
+    the cluster is overloaded — clients should back off per-tenant, not
+    fail over.
+    """
+
+
+class FencedWriteError(TenantError):
+    """A write reached a shard owner that has been fenced off.
+
+    Raised by the epoch-fencing protocol during shard migration: once
+    ownership of a WAL shard moves, the old owner rejects writes stamped
+    with a stale epoch so no write can be appended behind the handoff
+    LSN and silently lost.
+    """
+
+
 # Friendlier public alias.
 IndexBuildError = IndexError_

@@ -31,6 +31,7 @@ class HashRing:
         self.vnodes_per_node = vnodes_per_node
         self._points: list[tuple[int, str]] = []
         self._nodes: set[str] = set()
+        self._weights: dict[str, float] = {}
         for node in nodes:
             self.add_node(node)
 
@@ -41,12 +42,25 @@ class HashRing:
     def nodes(self) -> set[str]:
         return set(self._nodes)
 
-    def add_node(self, node: str) -> None:
-        """Place a node's virtual points on the ring (idempotent)."""
+    def add_node(self, node: str, weight: float = 1.0) -> None:
+        """Place a node's virtual points on the ring (idempotent).
+
+        ``weight`` scales the node's virtual-point count: a weight-2 node
+        claims ~2x the key space of a weight-1 node.  Re-adding an
+        existing node with a different weight re-weights it in place
+        (only the keys adjacent to the added/removed points move — the
+        consistent-hashing property split-shard placement relies on).
+        """
+        if weight <= 0:
+            raise ValueError("node weight must be positive")
         if node in self._nodes:
-            return
+            if weight == self._weights[node]:
+                return
+            self.remove_node(node)
         self._nodes.add(node)
-        for replica in range(self.vnodes_per_node):
+        self._weights[node] = weight
+        vnodes = max(1, round(self.vnodes_per_node * weight))
+        for replica in range(vnodes):
             self._points.append((_hash64(f"{node}#{replica}"), node))
         self._points.sort()
 
@@ -55,7 +69,12 @@ class HashRing:
         if node not in self._nodes:
             return
         self._nodes.discard(node)
+        self._weights.pop(node, None)
         self._points = [(h, n) for h, n in self._points if n != node]
+
+    def weight(self, node: str) -> float:
+        """The node's placement weight (1.0 unless re-weighted)."""
+        return self._weights.get(node, 0.0)
 
     def owner(self, key: str) -> str:
         """The node owning ``key``; raises when the ring is empty."""

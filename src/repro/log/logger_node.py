@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.entity import EntityBatch
 from repro.core.tso import TimestampOracle
-from repro.errors import ClusterStateError
+from repro.errors import ClusterStateError, FencedWriteError
 from repro.log.broker import LogBroker
 from repro.log.hashring import HashRing
 from repro.log.wal import BatchRecord, DeleteRecord, InsertRecord, \
@@ -218,11 +218,22 @@ class Logger:
         # appends and logical rows separately.
         self.batches_published = 0
         self.rows_published = 0
+        # Epoch-fencing hook (wired by the LoggerService): called with
+        # (collection, shard, logger_name) before every publish; raises
+        # FencedWriteError when this logger lost the shard to a
+        # migration — a stale cached handle must not append behind the
+        # handoff LSN.
+        self.fence_guard: Optional[Callable[[str, int, str], None]] = None
+
+    def _check_fence(self, collection: str, shard: int) -> None:
+        if self.fence_guard is not None:
+            self.fence_guard(collection, shard, self.name)
 
     def publish_insert(self, collection: str, shard: int, segment_id: str,
                        pks: tuple, columns: Mapping,
                        mapping: LsmTree) -> int:
         """Publish one shard-batch; returns the packed LSN."""
+        self._check_fence(collection, shard)
         with self._tracer.span("logger.publish_insert", self._component,
                                collection=collection, shard=shard,
                                segment=segment_id, rows=len(pks)):
@@ -244,6 +255,7 @@ class Logger:
         entity to delete exists)": unknown keys are silently dropped, so
         subscribers never process deletions of absent entities.
         """
+        self._check_fence(collection, shard)
         existing = tuple(pk for pk in pks if mapping.get(str(pk)) is not None)
         ts = self._tso.allocate_packed()
         if not existing:
@@ -270,6 +282,7 @@ class Logger:
         with flush-time LSNs already assigned; the envelope's ``ts`` is
         the last (max) inner LSN, which is what acks resolve with.
         """
+        self._check_fence(collection, shard)
         batch = BatchRecord(ts=records[-1].ts, collection=collection,
                             shard=shard, records=tuple(records))
         with self._tracer.span("logger.publish_batch", self._component,
@@ -317,6 +330,15 @@ class LoggerService:
         self._gc_bytes = group_commit_bytes
         self._gc_window_ms = group_commit_window_ms
         self._groups: dict[tuple[str, int], CommitGroup] = {}
+        # Tenancy hooks, wired by the cluster (the log layer never
+        # imports tenancy): ``route_override`` maps a shard bucket key
+        # to an explicit logger placement installed by the rebalancer
+        # (consulted before the ring); ``fence_epoch_fn`` exposes the
+        # directory's per-shard fence epoch so stale Logger handles can
+        # be rejected after a bucket migration.
+        self.route_override: Optional[
+            Callable[[str], Optional[str]]] = None
+        self.fence_epoch_fn: Optional[Callable[[str, int], int]] = None
         # Flush telemetry, drained by the cluster's sampler (the log
         # layer stays metrics-import-free): (reason, records, rows,
         # nbytes, window age in virtual ms).
@@ -336,15 +358,27 @@ class LoggerService:
         """(name, logger) pairs in name order, for telemetry export."""
         return sorted(self._loggers.items())
 
-    def add_logger(self, name: str) -> Logger:
-        """Register a logger and place it on the ring."""
+    def add_logger(self, name: str, weight: float = 1.0) -> Logger:
+        """Register a logger and place it on the ring.
+
+        ``weight`` scales its virtual-point count (split-shard
+        placement: a weightier logger absorbs more buckets).
+        """
         if name in self._loggers:
             raise ClusterStateError(f"logger {name!r} already exists")
         logger = Logger(name, self._tso, self._broker,
                         tracer=self._tracer)
+        logger.fence_guard = self._fence_guard
         self._loggers[name] = logger
-        self._ring.add_node(name)
+        self._ring.add_node(name, weight=weight)
         return logger
+
+    def reweight_logger(self, name: str, weight: float) -> None:
+        """Change a logger's ring weight in place (only adjacent buckets
+        move — the consistent-hashing property)."""
+        if name not in self._loggers:
+            raise ClusterStateError(f"logger {name!r} does not exist")
+        self._ring.add_node(name, weight=weight)
 
     def remove_logger(self, name: str) -> None:
         """Remove a logger; its shards move to ring successors."""
@@ -355,9 +389,48 @@ class LoggerService:
         del self._loggers[name]
         self._ring.remove_node(name)
 
+    def owner_name(self, collection: str, shard: int) -> str:
+        """Current logger for a shard bucket: an explicit directory
+        override when one is installed (and still points at a live
+        logger), the consistent-hash ring otherwise."""
+        key = shard_bucket_key(collection, shard)
+        if self.route_override is not None:
+            override = self.route_override(key)
+            if override is not None and override in self._loggers:
+                return override
+        return self._ring.owner(key)
+
     def logger_for_shard(self, collection: str, shard: int) -> Logger:
-        owner = self._ring.owner(shard_bucket_key(collection, shard))
-        return self._loggers[owner]
+        return self._loggers[self.owner_name(collection, shard)]
+
+    def _fence_guard(self, collection: str, shard: int,
+                     logger_name: str) -> None:
+        """Reject publishes from a logger that lost the shard.
+
+        Only fires for shards with a bumped fence epoch (i.e. shards
+        the migration protocol has actually touched): a stale cached
+        :class:`Logger` handle trying to append behind the handoff LSN
+        gets :class:`FencedWriteError` instead of silently forking the
+        channel's history.
+        """
+        if self.fence_epoch_fn is None:
+            return
+        epoch = self.fence_epoch_fn(collection, shard)
+        if epoch <= 0:
+            return
+        owner = self.owner_name(collection, shard)
+        if owner != logger_name:
+            raise FencedWriteError(
+                f"logger {logger_name!r} is fenced off "
+                f"{collection}/shard-{shard} (epoch {epoch}, "
+                f"owner {owner!r})")
+
+    def flush_shard(self, collection: str, shard: int) -> int:
+        """Drain one shard's pending commit group (migration handoff:
+        every pre-fence write becomes WAL-durable under the old owner
+        before the bucket moves).  Returns the flush LSN (0 if empty).
+        """
+        return self.flush_group(collection, shard, reason="migration")
 
     def _mapping(self, collection: str, shard: int) -> LsmTree:
         key = (collection, shard)

@@ -14,6 +14,7 @@ alert rules currently firing.
 from __future__ import annotations
 
 from repro.cluster.manu import ManuCluster
+from repro.tenancy import physical_name
 
 
 def _bar(value: float, maximum: float, width: int = 20) -> str:
@@ -83,6 +84,7 @@ def system_view(cluster: ManuCluster) -> str:
     lines.append("LOGGERS")
     for name in cluster.logger_service.logger_names:
         lines.append(f"  {name:12s} {_health_label(cluster, f'logger:{name}')}")
+    lines.append(tenants_view(cluster))
     lines.append(backbone_view(cluster))
     lines.append("=" * 64)
     return "\n".join(lines)
@@ -100,6 +102,41 @@ def backbone_view(cluster: ManuCluster) -> str:
         tick = f"{stale:7.1f} ms ago" if stale is not None else "    n/a"
         lines.append(f"  {channel:28s} subs {len(subs):2d} "
                      f"max lag {max_lag:5d} tick {tick}")
+    return "\n".join(lines)
+
+
+def tenants_view(cluster: ManuCluster) -> str:
+    """Per-tenant panel: QoS class, shards, traffic and rejections."""
+    lines = ["TENANTS"]
+    if not cluster.tenants.tenant_names:
+        lines.append("  (none registered)")
+        return "\n".join(lines)
+    requests = cluster.metrics.counter_family(
+        "tenant_requests_total", ("tenant", "qos", "verb"))
+    rejections = cluster.metrics.counter_family(
+        "tenant_quota_rejections_total", ("tenant", "verb"))
+    req_by_tenant: dict[str, float] = {}
+    for labels, counter in requests.samples():
+        tenant = labels["tenant"]
+        req_by_tenant[tenant] = req_by_tenant.get(tenant, 0.0) \
+            + counter.value
+    rej_by_tenant: dict[str, float] = {}
+    for labels, counter in rejections.samples():
+        tenant = labels["tenant"]
+        rej_by_tenant[tenant] = rej_by_tenant.get(tenant, 0.0) \
+            + counter.value
+    for name in cluster.admission.admission_order(
+            cluster.tenants.tenant_names):
+        info = cluster.tenants.get(name)
+        shards = sum(
+            cluster.directory.num_shards(physical_name(name, logical))
+            for logical in info.collections)
+        lines.append(
+            f"  {name:12s} {info.qos.value:6s} "
+            f"collections {len(info.collections):3d} "
+            f"shards {shards:3d} "
+            f"requests {req_by_tenant.get(name, 0.0):8.0f} "
+            f"rejected {rej_by_tenant.get(name, 0.0):6.0f}")
     return "\n".join(lines)
 
 

@@ -30,7 +30,8 @@ from repro.core.multivector import MultiVectorQuery
 from repro.core.results import HitBatch, SearchResult, merge_topk
 from repro.core.schema import MetricType
 from repro.core.tso import TimestampOracle
-from repro.errors import CollectionNotFound, ConsistencyTimeout, ManuError
+from repro.errors import CollectionNotFound, ConsistencyTimeout, \
+    ManuError, QuotaExceeded
 from repro.log.logger_node import AckFuture, LoggerService
 from repro.monitoring.metrics import MetricsRegistry
 from repro.sim.costmodel import CostModel
@@ -63,7 +64,8 @@ class Proxy:
                  config: ManuConfig, cost_model: CostModel,
                  logger_service: LoggerService, root_coord, query_coord,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Optional[TraceCollector] = None) -> None:
+                 tracer: Optional[TraceCollector] = None,
+                 tenants=None, admission=None) -> None:
         self.name = name
         self._loop = loop
         self._tso = tso
@@ -103,12 +105,59 @@ class Proxy:
         self._merge_hist = self.metrics.histogram_family(
             "proxy_merge", ("proxy",),
             help="global top-k merge time", unit="ms").labels(proxy=name)
+        # Multi-tenancy (duck-typed TenantRegistry / AdmissionController,
+        # wired by the cluster): every tenant-scoped request is
+        # namespaced and quota-admitted here, at the API boundary.
+        self._tenants = tenants
+        self._admission = admission
+        self._tenant_requests = self.metrics.counter_family(
+            "tenant_requests_total", ("tenant", "qos", "verb"),
+            help="admitted tenant requests by verb")
+        self._tenant_rejections = self.metrics.counter_family(
+            "tenant_quota_rejections_total", ("tenant", "verb"),
+            help="tenant requests rejected by quota buckets")
+        #: physical collection -> queries served; the rebalancer's
+        #: search-load attribution reads this (plain dict: the hot path
+        #: stays family-lookup-free).
+        self.search_counts: dict[str, int] = {}
         self._session_ts = 0
         # Request batching (Section 3.6): same-typed searches accumulated
         # within the configured window, executed as one batch.
         self._batches: dict[tuple, list[tuple[np.ndarray,
                                               PendingSearch]]] = {}
+        # Batch key -> QoS dispatch priority (0 = first); tenant batches
+        # flush gold before bronze when several windows expire together.
+        self._batch_priority: dict[tuple, int] = {}
         self.batches_flushed = 0
+
+    # ------------------------------------------------------------------
+    # tenancy gate
+    # ------------------------------------------------------------------
+
+    def _tenant_resolve(self, tenant: str, collection: str) -> str:
+        """Namespace + authorize a tenant request (API boundary)."""
+        if self._tenants is None:
+            raise ManuError("multi-tenancy is not enabled")
+        return self._tenants.resolve(tenant, collection)
+
+    def _tenant_admit(self, tenant: str, verb: str,
+                      units: float = 1.0) -> None:
+        """Charge the tenant's quota bucket; count the outcome.
+
+        :class:`QuotaExceeded` (a per-tenant rejection, distinct from
+        cluster overload) propagates to the caller after the rejection
+        counter moved.
+        """
+        info = self._tenants.get(tenant)
+        if self._admission is not None:
+            try:
+                self._admission.admit(tenant, verb, units)
+            except QuotaExceeded:
+                self._tenant_rejections.labels(
+                    tenant=tenant, verb=verb).inc()
+                raise
+        self._tenant_requests.labels(
+            tenant=tenant, qos=info.qos.value, verb=verb).inc()
 
     # ------------------------------------------------------------------
     # metadata verification
@@ -125,10 +174,19 @@ class Proxy:
     # writes
     # ------------------------------------------------------------------
 
-    def insert(self, collection: str, data: Mapping) -> tuple:
-        """Validate and publish an insert; returns the assigned pks."""
+    def insert(self, collection: str, data: Mapping,
+               tenant: Optional[str] = None) -> tuple:
+        """Validate and publish an insert; returns the assigned pks.
+
+        With ``tenant`` the collection name is tenant-scoped and the
+        rows are admitted against the tenant's insert-rate bucket.
+        """
+        if tenant is not None:
+            collection = self._tenant_resolve(tenant, collection)
         schema = self._schema(collection)
         batch = validate_batch(schema, data)
+        if tenant is not None:
+            self._tenant_admit(tenant, "insert", units=batch.num_rows)
         with self._tracer.span("proxy.insert", self._component,
                                collection=collection, rows=batch.num_rows):
             lsn = self._loggers.insert(collection, batch)
@@ -136,8 +194,9 @@ class Proxy:
         self._inserts_counter.inc(batch.num_rows)
         return batch.pks
 
-    def insert_async(self, collection: str,
-                     data: Mapping) -> tuple[tuple, "AckFuture"]:
+    def insert_async(self, collection: str, data: Mapping,
+                     tenant: Optional[str] = None
+                     ) -> tuple[tuple, "AckFuture"]:
         """Validate and buffer an insert into the loggers' commit groups.
 
         Returns ``(pks, ack)``: the assigned primary keys plus an
@@ -147,8 +206,12 @@ class Proxy:
         at that point — an unacked write is not yet readable under
         session consistency.
         """
+        if tenant is not None:
+            collection = self._tenant_resolve(tenant, collection)
         schema = self._schema(collection)
         batch = validate_batch(schema, data)
+        if tenant is not None:
+            self._tenant_admit(tenant, "insert", units=batch.num_rows)
         # No per-submit span: buffering is a local memory append, and a
         # span per call would defeat the amortisation this path exists
         # for.  The flush's "logger.publish_batch" span is the traced
@@ -162,15 +225,20 @@ class Proxy:
         ack.add_done_callback(_on_ack)
         return batch.pks, ack
 
-    def delete(self, collection: str, expr: str) -> int:
+    def delete(self, collection: str, expr: str,
+               tenant: Optional[str] = None) -> int:
         """Delete by primary-key expression; returns the deleted count.
 
         Like Milvus 2.0, deletion expressions must address primary keys
         directly (``pk in [1, 2]`` or ``pk == 3``).
         """
+        if tenant is not None:
+            collection = self._tenant_resolve(tenant, collection)
         schema = self._schema(collection)
         pks = _extract_pks(FilterExpression(expr),
                            schema.primary_field.name)
+        if tenant is not None:
+            self._tenant_admit(tenant, "delete", units=len(pks))
         with self._tracer.span("proxy.delete", self._component,
                                collection=collection, keys=len(pks)):
             lsn, deleted = self._loggers.delete(collection, tuple(pks))
@@ -210,8 +278,11 @@ class Proxy:
                expr: Optional[str] = None,
                consistency: ConsistencyLevel = ConsistencyLevel.BOUNDED,
                staleness_ms: float = 100.0,
-               at_ms: Optional[float] = None) -> list[SearchResult]:
+               at_ms: Optional[float] = None,
+               tenant: Optional[str] = None) -> list[SearchResult]:
         """Global top-k search; one :class:`SearchResult` per query row."""
+        if tenant is not None:
+            collection = self._tenant_resolve(tenant, collection)
         schema = self._schema(collection)
         if field is None:
             field = schema.default_vector_field().name
@@ -219,6 +290,9 @@ class Proxy:
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
+        if tenant is not None:
+            self._tenant_admit(tenant, "search",
+                               units=float(queries.shape[0]))
         filter_expr = FilterExpression(expr) if expr else None
 
         if at_ms is not None:
@@ -297,6 +371,9 @@ class Proxy:
                 self._wait_hist.observe(wait_ms)
                 self._merge_hist.observe(merge_ms)
                 self._searches_counter.inc(queries.shape[0])
+                self.search_counts[collection] = \
+                    self.search_counts.get(collection, 0) \
+                    + int(queries.shape[0])
                 return results
         finally:
             if root.end_ms is None:
@@ -369,12 +446,16 @@ class Proxy:
     # point reads, upsert, range search
     # ------------------------------------------------------------------
 
-    def get(self, collection: str, pks) -> dict:
+    def get(self, collection: str, pks,
+            tenant: Optional[str] = None) -> dict:
         """Fetch live entities' field values by primary key.
 
         Returns pk -> {field: value} for found keys; missing keys are
         omitted.  Served from the query nodes' live copies.
         """
+        if tenant is not None:
+            collection = self._tenant_resolve(tenant, collection)
+            self._tenant_admit(tenant, "get")
         self._schema(collection)
         out: dict = {}
         for node, scope in self._query_coord.search_plan(collection):
@@ -382,13 +463,18 @@ class Proxy:
             out.update(node.fetch(collection, pks))
         return out
 
-    def upsert(self, collection: str, data: Mapping) -> tuple:
+    def upsert(self, collection: str, data: Mapping,
+               tenant: Optional[str] = None) -> tuple:
         """Delete-any-existing then insert (explicit-pk schemas only)."""
+        if tenant is not None:
+            collection = self._tenant_resolve(tenant, collection)
         schema = self._schema(collection)
         if schema.auto_id:
             raise ManuError(
                 "upsert requires an explicit primary key schema")
         batch = validate_batch(schema, data)
+        if tenant is not None:
+            self._tenant_admit(tenant, "upsert", units=batch.num_rows)
         with self._tracer.span("proxy.upsert", self._component,
                                collection=collection, rows=batch.num_rows):
             lsn, _deleted = self._loggers.delete(collection, batch.pks)
@@ -490,7 +576,8 @@ class Proxy:
                       expr: Optional[str] = None,
                       consistency: ConsistencyLevel =
                       ConsistencyLevel.BOUNDED,
-                      staleness_ms: float = 100.0) -> PendingSearch:
+                      staleness_ms: float = 100.0,
+                      tenant: Optional[str] = None) -> PendingSearch:
         """Queue one search into the batching window; returns a handle.
 
         "Requests of the same type (i.e., target the same collection and
@@ -499,7 +586,19 @@ class Proxy:
         ``batch_window_ms`` elapses; with batching disabled (window 0) the
         search executes immediately.  Drive the event loop (or call
         :meth:`flush_batches`) to resolve handles.
+
+        With ``tenant`` the request is namespaced and quota-admitted at
+        submit time, and its batch is dispatched at the QoS class's
+        priority: when several windows expire together (or
+        :meth:`flush_batches` drains them), gold batches execute before
+        bronze ones, so a backlog queues behind gold, not ahead of it.
         """
+        priority = 0
+        if tenant is not None:
+            collection = self._tenant_resolve(tenant, collection)
+            self._tenant_admit(tenant, "search")
+            if self._admission is not None:
+                priority = self._admission.priority(tenant)
         handle = PendingSearch()
         query = np.asarray(query, dtype=np.float32).reshape(1, -1)
         window = self._config.query.batch_window_ms
@@ -512,6 +611,7 @@ class Proxy:
         key = (collection, field, metric, expr, consistency, staleness_ms,
                k)
         batch = self._batches.setdefault(key, [])
+        self._batch_priority[key] = priority
         batch.append((query, handle))
         if len(batch) == 1:
             self._loop.call_after(window, lambda: self._flush_batch(key),
@@ -520,6 +620,7 @@ class Proxy:
 
     def _flush_batch(self, key: tuple) -> None:
         batch = self._batches.pop(key, None)
+        self._batch_priority.pop(key, None)
         if not batch:
             return
         (collection, field, metric, expr, consistency, staleness_ms,
@@ -538,9 +639,17 @@ class Proxy:
         self._batched_counter.inc(len(batch))
 
     def flush_batches(self) -> int:
-        """Force-flush all pending batches; returns requests flushed."""
+        """Force-flush all pending batches; returns requests flushed.
+
+        Batches drain in QoS priority order — scheduling priority is
+        where a tenant's class bites: gold work executes (and claims the
+        nodes' ``busy_until`` windows) before silver and bronze.
+        """
         flushed = 0
-        for key in list(self._batches):
+        for key in sorted(self._batches,
+                          key=lambda key: (
+                              self._batch_priority.get(key, 0),
+                              str(key))):
             flushed += len(self._batches.get(key, ()))
             self._flush_batch(key)
         return flushed

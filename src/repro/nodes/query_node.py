@@ -78,6 +78,9 @@ class QueryNode:
         self._segments: dict[tuple[str, str], Segment] = {}
         self._by_collection: dict[str, dict[str, Segment]] = {}
         self._growing_ids: set[tuple[str, str]] = set()
+        # Growing segment -> its WAL shard, so a fenced channel handoff
+        # can find (and release) exactly the old owner's copies.
+        self._segment_shard: dict[tuple[str, str], int] = {}
         self._gates: dict[str, ConsistencyGate] = {}  # per collection
         # Deletions seen per collection: pk -> ts (applied to late loads).
         self._seen_deletes: dict[str, dict] = {}
@@ -87,6 +90,10 @@ class QueryNode:
         self._delta_cache: dict[str, list[tuple[object, int]]] = {}
         self.busy_until_ms = 0.0
         self.searches_served = 0
+        # Cumulative virtual service time of local search work; the
+        # rebalancer's load reports and the skew bench read deltas of
+        # this to measure per-node serving load.
+        self.service_ms_total = 0.0
         self.alive = True
         # Optional repro.monitoring.MetricsRegistry (duck-typed): local
         # scan service time, labeled by node for cross-node comparison.
@@ -124,6 +131,36 @@ class QueryNode:
         self._owned_channels.discard(channel)
         if sub is not None:
             sub.cancel()
+
+    def disown_channel(self, channel: str) -> None:
+        """Fence this node off a channel it owned.
+
+        The subscription stays (deletions and time-ticks must keep
+        applying everywhere) but post-fence inserts are no longer
+        materialized — the migration target owns them now.  The node's
+        existing growing copies keep serving until the coordinator
+        releases them after the new owner catches up.
+        """
+        self._owned_channels.discard(channel)
+
+    def channel_lag(self, channel: str) -> int:
+        """Entries this node has not yet consumed on ``channel``."""
+        sub = self._subs.get(channel)
+        if sub is None:
+            return 0
+        return sub.lag()
+
+    def channel_position(self, channel: str) -> int:
+        """Next offset this node's subscription will consume."""
+        sub = self._subs.get(channel)
+        return sub.offset if sub is not None else 0
+
+    def growing_of_shard(self, collection: str, shard: int) -> list[str]:
+        """Growing segment ids this node built from one WAL shard."""
+        return sorted(
+            sid for (coll, sid) in self._growing_ids
+            if coll == collection
+            and self._segment_shard.get((coll, sid)) == shard)
 
     @property
     def owned_channels(self) -> set[str]:
@@ -165,6 +202,7 @@ class QueryNode:
                 self._config.segment.enable_temp_index
             self._register(key, segment)
             self._growing_ids.add(key)
+        self._segment_shard[key] = record.shard
         segment = self._segments[key]
         if record.ts <= segment.max_insert_lsn:
             return  # WAL replay of a batch this copy already holds
@@ -249,6 +287,7 @@ class QueryNode:
         """Drop a segment copy (handoff done, rebalance, or release)."""
         removed = self._unregister((collection, segment_id))
         self._growing_ids.discard((collection, segment_id))
+        self._segment_shard.pop((collection, segment_id), None)
         return removed is not None
 
     def attach_index(self, collection: str, segment_id: str, field: str,
@@ -394,6 +433,7 @@ class QueryNode:
                 parent=trace_span.context, start_ms=cursor_ms,
                 end_ms=cursor_ms + reduce_ms, segments=searched)
         self.searches_served += nq
+        self.service_ms_total += service_ms
         if self._scan_hist is not None:
             self._scan_hist.observe(service_ms)
         return merged, service_ms, searched
@@ -473,4 +513,5 @@ class QueryNode:
         self._by_collection.clear()
         self._delta_cache.clear()
         self._growing_ids.clear()
+        self._segment_shard.clear()
         self._gates.clear()

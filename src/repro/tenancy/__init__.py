@@ -1,0 +1,54 @@
+"""Multi-tenant serving layer: registry, directory map, QoS, rebalancer.
+
+Manu's cloud-native story (paper Section 2: elasticity, isolation,
+serving millions of users) needs tenants as a first-class concept, not a
+naming convention.  This package supplies the four pieces:
+
+- :mod:`~repro.tenancy.registry` — who the tenants are: QoS class,
+  quotas, and the ``tenant::collection`` namespace every request is
+  scoped to at the API boundary.
+- :mod:`~repro.tenancy.directory` — where their shards live: explicit
+  placement overrides layered over the consistent-hash ring, plus the
+  per-shard fence epochs the migration protocol is built on.  Both the
+  registry and the directory serialize into the cluster checkpoint so
+  tenancy survives crash-recovery.
+- :mod:`~repro.tenancy.qos` — virtual-time token buckets enforcing
+  per-tenant insert/search rates, and the gold/silver/bronze admission
+  ordering that maps to scheduling priority.
+- :mod:`~repro.tenancy.rebalancer` — detects hot shards from the
+  backbone's per-channel telemetry, plans split/migrate moves, and
+  executes them under epoch fencing so no write is lost or duplicated
+  mid-migration.
+
+Layering: tenancy sits directly above the log backbone.  It may import
+``core``/``log``/``storage``/``sim`` but never ``nodes``/``coord``/
+``cluster``/``api`` — those layers depend on *it* and hand it duck-typed
+hooks (see ``ServingOps`` in the rebalancer) for the few actions that
+must run above.
+"""
+
+from repro.tenancy.directory import TenantDirectory
+from repro.tenancy.qos import AdmissionController, TokenBucket
+from repro.tenancy.rebalancer import Move, ShardRebalancer
+from repro.tenancy.registry import (
+    QosClass,
+    TenantInfo,
+    TenantQuota,
+    TenantRegistry,
+    physical_name,
+    split_physical,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Move",
+    "QosClass",
+    "ShardRebalancer",
+    "TenantDirectory",
+    "TenantInfo",
+    "TenantQuota",
+    "TenantRegistry",
+    "TokenBucket",
+    "physical_name",
+    "split_physical",
+]

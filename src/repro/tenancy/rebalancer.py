@@ -1,0 +1,391 @@
+"""Fenced shard rebalancer: detect hot shards, plan, migrate safely.
+
+Two load surfaces can go hot under a skewed tenant mix:
+
+- **Serving** — which query node owns each WAL channel (owners
+  materialize the channel's growing rows and serve them).  The initial
+  round-robin assignment bunches every collection's shard-``k`` channel
+  on the same node, so a Zipf tenant mix concentrates load badly.
+- **Logging** — which logger the consistent-hash ring routes a shard
+  bucket to.  A hot bucket is moved via an explicit directory override
+  (weighted ring placement handles the steady state; overrides handle
+  the outliers).
+
+Moves execute under **epoch fencing** over the WAL.  For every move the
+rebalancer (1) bumps the shard's fence epoch in the directory *before*
+ownership changes, (2) hands ownership to the destination with the
+handoff LSN — the channel offset the new owner replays from — and
+(3) publishes a ``CoordRecord`` on ``wal/coord`` announcing the move, so
+the control history of every migration is itself WAL-durable.  A stale
+owner observing the bumped epoch rejects post-fence writes
+(:class:`~repro.errors.FencedWriteError` on the logging side; disowned
+channels stop materializing on the serving side), and the destination
+replays the channel from the handoff LSN — no write is lost, and the
+per-segment LSN watermark makes replay idempotent, so none is
+duplicated either.
+
+Layering: this module may import ``core``/``log``/``storage`` only.
+Actions that must run above it (re-subscribing query nodes, flushing a
+logger's commit group) come in through the duck-typed ``serving`` /
+``logging`` hooks the cluster wires up — see :class:`ServingOps` and
+:class:`LoggingOps`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from repro.core.tso import TimestampOracle
+from repro.errors import ChannelNotFound
+from repro.log.broker import LogBroker
+from repro.log.wal import CoordRecord, shard_channel
+from repro.tenancy.directory import TenantDirectory
+from repro.tracing import NOOP_TRACER, TraceCollector
+
+_CHANNEL_RE = re.compile(r"^wal/(?P<collection>.+)/shard-(?P<shard>\d+)$")
+
+
+def parse_channel(channel: str) -> tuple[str, int]:
+    """Invert :func:`~repro.log.wal.shard_channel`."""
+    match = _CHANNEL_RE.match(channel)
+    if match is None:
+        raise ValueError(f"not a WAL shard channel: {channel!r}")
+    return match.group("collection"), int(match.group("shard"))
+
+
+class ServingOps(Protocol):
+    """Query-side hooks (implemented by the query coordinator)."""
+
+    @property
+    def node_names(self) -> list[str]:
+        """Live query nodes."""
+        ...
+
+    def channel_owners(self) -> dict[str, str]:
+        """WAL channel -> owning query node, across loaded collections."""
+        ...
+
+    def migrate_channel(self, channel: str, target: str) -> int:
+        """Fenced serving handoff; returns the handoff LSN the new
+        owner replays from."""
+        ...
+
+
+class LoggingOps(Protocol):
+    """Log-side hooks (implemented by the logger service)."""
+
+    @property
+    def logger_names(self) -> list[str]:
+        ...
+
+    def owner_name(self, collection: str, shard: int) -> str:
+        """Current logger for a shard bucket (overrides applied)."""
+        ...
+
+    def flush_shard(self, collection: str, shard: int) -> int:
+        """Drain the shard's pending commit group; returns its LSN."""
+        ...
+
+
+@dataclass
+class Move:
+    """One planned (and, after execute, performed) rebalancing move."""
+
+    kind: str           # "migrate" | "split"
+    scope: str          # "serving" | "logging"
+    collection: str
+    shard: int
+    channel: str
+    src: str
+    dst: str
+    load: float         # estimated load being moved
+    epoch: int = 0      # fence epoch stamped at execution
+    handoff_lsn: int = 0
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "scope": self.scope,
+                "collection": self.collection, "shard": self.shard,
+                "channel": self.channel, "src": self.src,
+                "dst": self.dst, "load": self.load, "epoch": self.epoch,
+                "handoff_lsn": self.handoff_lsn, "reason": self.reason}
+
+
+@dataclass
+class LoadReport:
+    """Per-node load snapshot with the imbalance the planner acts on."""
+
+    scope: str
+    node_loads: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean node load; 1.0 is perfectly balanced."""
+        if not self.node_loads:
+            return 1.0
+        mean = sum(self.node_loads.values()) / len(self.node_loads)
+        if mean <= 0:
+            return 1.0
+        return max(self.node_loads.values()) / mean
+
+
+class ShardRebalancer:
+    """Plans and executes fenced split/migrate moves for hot shards."""
+
+    def __init__(self, broker: LogBroker, tso: TimestampOracle,
+                 directory: TenantDirectory,
+                 coord_channel: str = "wal/coord",
+                 imbalance_threshold: float = 1.25,
+                 search_weight: float = 1.0,
+                 write_weight: float = 1.0,
+                 tracer: Optional[TraceCollector] = None) -> None:
+        self._broker = broker
+        self._tso = tso
+        self._directory = directory
+        self._coord_channel = coord_channel
+        self.imbalance_threshold = imbalance_threshold
+        self.search_weight = search_weight
+        self.write_weight = write_weight
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        # Hooks wired by the cluster (tenancy never imports upward).
+        self.serving: Optional[ServingOps] = None
+        self.logging: Optional[LoggingOps] = None
+        #: physical collection -> cumulative search units served, fed by
+        #: the proxies via the cluster (serving-load attribution).
+        self.search_load_fn: Optional[
+            Callable[[], dict[str, float]]] = None
+        self.moves_executed: list[Move] = []
+
+    # ------------------------------------------------------------------
+    # load detection (from per-channel backbone telemetry)
+    # ------------------------------------------------------------------
+
+    def _channel_writes(self, channel: str) -> float:
+        """Records appended to the channel so far (WAL end offset)."""
+        try:
+            return float(self._broker.end_offset(channel))
+        except (KeyError, ChannelNotFound):
+            return 0.0
+
+    def channel_loads(self) -> dict[str, float]:
+        """Estimated load per owned WAL channel.
+
+        Write pressure comes from the channel's own end offset.  Search
+        pressure is per-collection search counters scaled by the
+        channel's resident rows: every search of a collection fans out
+        to every channel owner, and each owner's scan cost is
+        proportional to the rows it materializes — so a channel that
+        holds rows of a hot collection is hot in proportion to both its
+        size and its collection's query rate.  The end offset doubles as
+        the row proxy (time-ticks inflate all channels alike).
+        """
+        if self.serving is None:
+            return {}
+        owners = self.serving.channel_owners()
+        searches = self.search_load_fn() if self.search_load_fn else {}
+        loads: dict[str, float] = {}
+        for channel in owners:
+            collection, _ = parse_channel(channel)
+            writes = self._channel_writes(channel)
+            load = self.write_weight * writes
+            load += self.search_weight \
+                * searches.get(collection, 0.0) * writes
+            loads[channel] = load
+        return loads
+
+    def serving_report(self) -> LoadReport:
+        """Per-query-node serving load (owned channels only)."""
+        report = LoadReport(scope="serving")
+        if self.serving is None:
+            return report
+        report.node_loads = {n: 0.0 for n in self.serving.node_names}
+        owners = self.serving.channel_owners()
+        for channel, load in self.channel_loads().items():
+            owner = owners.get(channel)
+            if owner in report.node_loads:
+                report.node_loads[owner] += load
+        return report
+
+    def logging_report(self) -> LoadReport:
+        """Per-logger load over the shard buckets they own."""
+        report = LoadReport(scope="logging")
+        if self.logging is None:
+            return report
+        report.node_loads = {n: 0.0 for n in self.logging.logger_names}
+        for collection in self._directory.collections:
+            for shard in range(self._directory.num_shards(collection)):
+                owner = self.logging.owner_name(collection, shard)
+                if owner in report.node_loads:
+                    report.node_loads[owner] += self._channel_writes(
+                        shard_channel(collection, shard))
+        return report
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def plan_serving(self, max_moves: int = 16) -> list[Move]:
+        """Greedy hottest-to-coldest channel moves until balanced.
+
+        A move is a **split** when it spreads a collection's serving
+        set over more nodes than before (the hot tenant's shards were
+        bunched); otherwise it is a plain **migrate**.
+        """
+        if self.serving is None:
+            return []
+        owners = dict(self.serving.channel_owners())
+        loads = self.channel_loads()
+        node_loads = {n: 0.0 for n in self.serving.node_names}
+        for channel, owner in owners.items():
+            if owner in node_loads:
+                node_loads[owner] += loads.get(channel, 0.0)
+        if len(node_loads) < 2:
+            return []
+        moves: list[Move] = []
+        while len(moves) < max_moves:
+            report = LoadReport("serving", dict(node_loads))
+            if report.imbalance <= self.imbalance_threshold:
+                break
+            hot = max(node_loads, key=node_loads.get)
+            cold = min(node_loads, key=node_loads.get)
+            gap = node_loads[hot] - node_loads[cold]
+            # The largest channel that still strictly improves the pair
+            # (moving more than the gap would just swap hot and cold).
+            candidates = sorted(
+                (c for c, o in owners.items() if o == hot),
+                key=lambda c: loads.get(c, 0.0), reverse=True)
+            chosen = next((c for c in candidates
+                           if 0 < loads.get(c, 0.0) < gap), None)
+            if chosen is None:
+                break
+            collection, shard = parse_channel(chosen)
+            spread_before = len({
+                owners[c] for c in owners
+                if parse_channel(c)[0] == collection})
+            owners[chosen] = cold
+            spread_after = len({
+                owners[c] for c in owners
+                if parse_channel(c)[0] == collection})
+            node_loads[hot] -= loads[chosen]
+            node_loads[cold] += loads[chosen]
+            moves.append(Move(
+                kind="split" if spread_after > spread_before
+                else "migrate",
+                scope="serving", collection=collection, shard=shard,
+                channel=chosen, src=hot, dst=cold, load=loads[chosen],
+                reason=f"imbalance {report.imbalance:.2f} > "
+                       f"{self.imbalance_threshold:.2f}"))
+        return moves
+
+    def plan_logging(self, max_moves: int = 16) -> list[Move]:
+        """Hot shard buckets moved off overloaded loggers via explicit
+        directory overrides (the ring keeps handling the steady state)."""
+        if self.logging is None:
+            return []
+        bucket_owner: dict[tuple[str, int], str] = {}
+        bucket_load: dict[tuple[str, int], float] = {}
+        node_loads = {n: 0.0 for n in self.logging.logger_names}
+        for collection in self._directory.collections:
+            for shard in range(self._directory.num_shards(collection)):
+                owner = self.logging.owner_name(collection, shard)
+                load = self._channel_writes(
+                    shard_channel(collection, shard))
+                bucket_owner[(collection, shard)] = owner
+                bucket_load[(collection, shard)] = load
+                if owner in node_loads:
+                    node_loads[owner] += load
+        if len(node_loads) < 2:
+            return []
+        moves: list[Move] = []
+        while len(moves) < max_moves:
+            report = LoadReport("logging", dict(node_loads))
+            if report.imbalance <= self.imbalance_threshold:
+                break
+            hot = max(node_loads, key=node_loads.get)
+            cold = min(node_loads, key=node_loads.get)
+            gap = node_loads[hot] - node_loads[cold]
+            candidates = sorted(
+                (b for b, o in bucket_owner.items() if o == hot),
+                key=lambda b: bucket_load[b], reverse=True)
+            chosen = next((b for b in candidates
+                           if 0 < bucket_load[b] < gap), None)
+            if chosen is None:
+                break
+            collection, shard = chosen
+            bucket_owner[chosen] = cold
+            node_loads[hot] -= bucket_load[chosen]
+            node_loads[cold] += bucket_load[chosen]
+            moves.append(Move(
+                kind="migrate", scope="logging", collection=collection,
+                shard=shard,
+                channel=shard_channel(collection, shard), src=hot,
+                dst=cold, load=bucket_load[chosen],
+                reason=f"imbalance {report.imbalance:.2f} > "
+                       f"{self.imbalance_threshold:.2f}"))
+        return moves
+
+    # ------------------------------------------------------------------
+    # fenced execution
+    # ------------------------------------------------------------------
+
+    def execute(self, move: Move) -> Move:
+        """Run one move under the fencing protocol; returns it stamped
+        with its fence epoch and handoff LSN."""
+        if move.scope == "serving":
+            return self._execute_serving(move)
+        return self._execute_logging(move)
+
+    def _execute_serving(self, move: Move) -> Move:
+        if self.serving is None:
+            raise RuntimeError("serving hooks not wired")
+        with self._tracer.span("rebalancer.migrate_serving",
+                               "rebalancer", channel=move.channel,
+                               src=move.src, dst=move.dst):
+            # Fence first: the epoch is bumped (and checkpointable)
+            # before any ownership state changes, so a crash between
+            # the two steps recovers into the fenced state, never an
+            # unfenced double-owner one.
+            move.epoch = self._directory.bump_fence(move.collection,
+                                                    move.shard)
+            move.handoff_lsn = self.serving.migrate_channel(
+                move.channel, move.dst)
+            self._directory.pin_serving(move.channel, move.dst)
+            self._announce(move)
+        self.moves_executed.append(move)
+        return move
+
+    def _execute_logging(self, move: Move) -> Move:
+        if self.logging is None:
+            raise RuntimeError("logging hooks not wired")
+        with self._tracer.span("rebalancer.migrate_logging",
+                               "rebalancer", channel=move.channel,
+                               src=move.src, dst=move.dst):
+            # Drain the old owner's pending commit group under the old
+            # epoch, then fence: every pre-fence write is durable on
+            # the channel before the bucket moves.
+            self.logging.flush_shard(move.collection, move.shard)
+            move.epoch = self._directory.bump_fence(move.collection,
+                                                    move.shard)
+            move.handoff_lsn = int(self._broker.end_offset(move.channel))
+            self._directory.set_bucket_override(
+                f"{move.collection}/shard-{move.shard}", move.dst)
+            self._announce(move)
+        self.moves_executed.append(move)
+        return move
+
+    def _announce(self, move: Move) -> None:
+        """WAL-durable record of the move on the coord channel."""
+        self._broker.publish(self._coord_channel, CoordRecord(
+            ts=self._tso.allocate_packed(),
+            kind_name="shard_migrate", payload=move.to_dict()))
+
+    def rebalance(self, max_moves: int = 16) -> list[Move]:
+        """Plan and execute serving moves, then logging moves."""
+        executed = []
+        for move in self.plan_serving(max_moves=max_moves):
+            executed.append(self.execute(move))
+        for move in self.plan_logging(max_moves=max_moves):
+            executed.append(self.execute(move))
+        return executed

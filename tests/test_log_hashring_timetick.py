@@ -78,6 +78,57 @@ class TestHashRing:
         ring = HashRing(nodes)
         assert ring.owner(key) in nodes
 
+    def test_weight_scales_key_share(self):
+        ring = HashRing(vnodes_per_node=128)
+        ring.add_node("heavy", weight=3.0)
+        ring.add_node("light", weight=1.0)
+        counts = ring.distribution([f"key-{i}" for i in range(4000)])
+        # A 3x-weighted node should own roughly 3x the keys; allow
+        # generous slack for hash variance.
+        assert counts["heavy"] > 2.0 * counts["light"]
+
+    def test_weight_accessor(self):
+        ring = HashRing()
+        ring.add_node("n1", weight=2.5)
+        assert ring.weight("n1") == 2.5
+        assert ring.weight("absent") == 0.0
+        ring.remove_node("n1")
+        assert ring.weight("n1") == 0.0
+
+    def test_reweight_in_place(self):
+        ring = HashRing(["n1", "n2"], vnodes_per_node=64)
+        keys = [f"key-{i}" for i in range(1000)]
+        before = ring.distribution(keys)
+        ring.add_node("n1", weight=4.0)  # re-add = re-weight
+        assert ring.weight("n1") == 4.0
+        assert len(ring) == 2
+        after = ring.distribution(keys)
+        assert after["n1"] > before["n1"]
+
+    def test_same_weight_readd_is_noop(self):
+        ring = HashRing(["n1", "n2"])
+        keys = [f"key-{i}" for i in range(500)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.add_node("n1", weight=1.0)
+        assert {k: ring.owner(k) for k in keys} == before
+
+    def test_fractional_weight_keeps_at_least_one_vnode(self):
+        ring = HashRing(vnodes_per_node=4)
+        ring.add_node("tiny", weight=0.001)
+        assert ring.owner("anything") == "tiny"
+
+    def test_reweight_only_shifts_boundary_keys(self):
+        """Consistent-hashing stability holds under re-weighting: keys
+        either stay put or move to/from the re-weighted node."""
+        ring = HashRing(["n1", "n2", "n3"], vnodes_per_node=64)
+        keys = [f"key-{i}" for i in range(800)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.add_node("n2", weight=2.0)
+        after = {k: ring.owner(k) for k in keys}
+        for key in keys:
+            if before[key] != after[key]:
+                assert after[key] == "n2" or before[key] == "n2"
+
 
 class TestTimeTickEmitter:
     def _setup(self, interval=50.0):
