@@ -21,12 +21,20 @@ from repro import (
     FieldSchema,
     connect,
 )
+from repro.config import ManuConfig, ProfilingConfig
 
 
 def main() -> None:
     # 1. Connect: builds an embedded in-process cluster (the paper's
     #    personal-computer deployment mode; same API as cluster mode).
-    cluster = connect(num_query_nodes=2, num_index_nodes=1)
+    #    MANU_SLOWLOG arms the slow-query ring: any search slower than
+    #    the (virtual-time) threshold is captured with its full profile.
+    slowlog_path = os.environ.get("MANU_SLOWLOG")
+    config = ManuConfig()
+    if slowlog_path:
+        config = config.with_overrides(
+            profiling=ProfilingConfig(slow_query_threshold_ms=0.1))
+    cluster = connect(num_query_nodes=2, num_index_nodes=1, config=config)
 
     # 2. Declare the schema of Figure 1: primary key (auto), a feature
     #    vector, a label, and a numerical attribute.
@@ -78,6 +86,18 @@ def main() -> None:
         print(f"  product pk={hit.pk}  "
               f"L2 distance={hit.score_for(results.metric):.3f}")
 
+    # 5b. EXPLAIN ANALYZE: the same search with ``explain=True`` returns
+    #     a work-accounting tree whose per-stage counters sum exactly to
+    #     the request totals (DESIGN.md §6g).
+    explained = products.search(vec=vectors[10], limit=5,
+                                param={"metric_type": "Euclidean"},
+                                consistency_level="strong",
+                                explain=True)[0]
+    profile = explained.profile
+    assert profile.verify() == []
+    print(f"explain: {profile.totals()['rows_scanned']} rows scanned "
+          f"across {profile.segments_searched} segment scans")
+
     # 6. Deletes are visible to strong-consistency reads immediately.
     products.delete(f"_auto_id == {results.pks[0]}")
     after = products.search(vec=vectors[10], limit=5,
@@ -109,6 +129,14 @@ def main() -> None:
         cluster.flight_recorder.record("quickstart")
         cluster.flight_recorder.dump(flight_path)
         print(f"wrote flight-recorder bundle to {flight_path}")
+
+    # 9. Optional: dump the slow-query ring armed in step 1
+    #    (MANU_SLOWLOG) — full profiles of every capture, trace ids
+    #    resolvable against the MANU_TRACE export.
+    if slowlog_path:
+        cluster.slowlog.dump(slowlog_path)
+        print(f"wrote {len(cluster.slowlog)} slow-query captures "
+              f"to {slowlog_path}")
 
 
 if __name__ == "__main__":

@@ -29,14 +29,25 @@ from repro.analysis.base import (
 #: plane must stay ignorant of: the broker/TSO/consistency machinery
 #: reports *through* duck-typed hooks and public accessors (e.g.
 #: ``Subscription.lag()``), never by importing the metrics registry.
+#: ``profiling`` sits directly above ``core``/``index``: the serving
+#: layers thread profile objects down into it, so it must not import any
+#: serving layer — and ``monitoring``/``tracing`` must not import *it*
+#: (the flight recorder takes the slow-query log as a duck-typed hook).
 FORBIDDEN_EDGES = {
-    "core": ("nodes", "coord", "cluster", "api", "monitoring"),
-    "index": ("nodes", "coord", "cluster", "api", "monitoring"),
-    "storage": ("nodes", "coord", "cluster", "api", "monitoring"),
-    "log": ("nodes", "monitoring"),
-    "tenancy": ("nodes", "coord", "cluster", "api", "monitoring"),
-    "tracing": ("nodes", "coord", "cluster", "api", "log", "monitoring"),
-    "monitoring": ("nodes", "coord", "api", "log"),
+    "core": ("nodes", "coord", "cluster", "api", "monitoring",
+             "profiling"),
+    "index": ("nodes", "coord", "cluster", "api", "monitoring",
+              "profiling"),
+    "storage": ("nodes", "coord", "cluster", "api", "monitoring",
+                "profiling"),
+    "log": ("nodes", "monitoring", "profiling"),
+    "tenancy": ("nodes", "coord", "cluster", "api", "monitoring",
+                "profiling"),
+    "tracing": ("nodes", "coord", "cluster", "api", "log", "monitoring",
+                "profiling"),
+    "monitoring": ("nodes", "coord", "api", "log", "profiling"),
+    "profiling": ("nodes", "coord", "cluster", "api", "monitoring",
+                  "tracing", "log", "tenancy", "storage"),
 }
 
 
@@ -59,7 +70,9 @@ class LayeringRule(Rule):
     id = "layering"
     description = ("core/index/storage must not import nodes/coord/cluster/"
                    "api; log must not import nodes; log and core must not "
-                   "import monitoring (metrics flow via duck-typed hooks)")
+                   "import monitoring (metrics flow via duck-typed hooks); "
+                   "profiling imports only core/index, and the "
+                   "observability planes never import profiling")
     paper_ref = "Section 2 (layered architecture), Section 3.3 (log backbone)"
 
     def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:

@@ -163,11 +163,17 @@ class Collection:
                expr: Optional[str] = None,
                consistency_level: str = "bounded",
                staleness_ms: float = 100.0,
+               explain: bool = False,
                **extra) -> list[SearchResult]:
         """``Collection.search(vec, params)``: top-``limit`` vector search.
 
         Accepts the paper's keyword style (``vec=..., field=...,
         param={"metric_type": ...}, limit=..., expr=...``).
+
+        ``explain=True`` attaches the request's EXPLAIN ANALYZE work
+        ledger to each result as ``result.profile`` (a
+        :class:`~repro.profiling.QueryProfile`; render it with
+        ``result.profile.explain()``).
         """
         if vec is None:
             vec = extra.pop("data", None)
@@ -185,7 +191,8 @@ class Collection:
         return self._cluster.search(
             self.name, np.asarray(vec, dtype=np.float32), limit,
             field=field, metric=metric, expr=expr, consistency=level,
-            staleness_ms=staleness_ms, tenant=self.tenant)
+            staleness_ms=staleness_ms, tenant=self.tenant,
+            explain=explain)
 
     def query(self, vec=None, param: Optional[Mapping] = None,
               expr: Optional[str] = None, limit: int = 10,

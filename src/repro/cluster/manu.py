@@ -51,12 +51,13 @@ from repro.nodes.data_node import DataNode
 from repro.nodes.index_node import IndexNode
 from repro.nodes.proxy import Proxy
 from repro.nodes.query_node import QueryNode
+from repro.profiling import SlowQueryLog
 from repro.sim.clock import SchedulePolicy
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.events import EventLoop
 from repro.storage.metastore import MetaStore
 from repro.storage.object_store import Backend, ObjectStore
-from repro.tenancy import (AdmissionController, Move, QosClass,
+from repro.tenancy import (AdmissionController, CostMeter, Move, QosClass,
                            ShardRebalancer, TenantDirectory, TenantInfo,
                            TenantQuota, TenantRegistry, physical_name)
 from repro.tracing import TraceCollector
@@ -114,10 +115,16 @@ class ManuCluster:
                                   clock_ms=self.loop.now)
         for rule_name, rule_text in mon.alert_rules:
             self.alerts.add_rule_text(rule_name, rule_text)
+        # Profiling plane: slow-query ring (armed via config threshold)
+        # and the per-tenant read/write-unit ledger shared by all proxies.
+        self.slowlog = SlowQueryLog(
+            threshold_ms=self.config.profiling.slow_query_threshold_ms,
+            capacity=self.config.profiling.slow_query_capacity)
+        self.cost_meter = CostMeter()
         self.flight_recorder = FlightRecorder(
             self.loop.now, self.metrics, health=self.health,
             tracer=self.tracer, capacity=mon.flight_capacity,
-            max_traces=mon.flight_max_traces)
+            max_traces=mon.flight_max_traces, slowlog=self.slowlog)
         self.alerts.on_fire(self._on_alert_fire)
 
         # Coordinators.
@@ -196,7 +203,8 @@ class ManuCluster:
                 self.cost_model, self.logger_service, self.root_coord,
                 self.query_coord, metrics=self.metrics,
                 tracer=self.tracer, tenants=self.tenants,
-                admission=self.admission))
+                admission=self.admission, cost_meter=self.cost_meter,
+                slowlog=self.slowlog))
         self._proxy_rr = itertools.cycle(range(num_proxies))
 
         # Time ticks on every data channel plus the coordination channel.
@@ -507,12 +515,13 @@ class ManuCluster:
                consistency: ConsistencyLevel = ConsistencyLevel.BOUNDED,
                staleness_ms: float = 100.0,
                at_ms: Optional[float] = None,
-               tenant: Optional[str] = None) -> list[SearchResult]:
+               tenant: Optional[str] = None,
+               explain: bool = False) -> list[SearchResult]:
         return self.proxy().search(collection, queries, k, field=field,
                                    metric=metric, expr=expr,
                                    consistency=consistency,
                                    staleness_ms=staleness_ms, at_ms=at_ms,
-                                   tenant=tenant)
+                                   tenant=tenant, explain=explain)
 
     def search_multivector(self, collection: str, query: MultiVectorQuery,
                            k: int) -> SearchResult:

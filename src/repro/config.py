@@ -162,6 +162,20 @@ class TracingConfig:
 
 
 @dataclass(frozen=True)
+class ProfilingConfig:
+    """Query-profiling tunables (DESIGN.md §6g)."""
+
+    slow_query_threshold_ms: float = 0.0
+    """Searches whose end-to-end virtual latency meets this threshold are
+    captured — full :class:`~repro.profiling.QueryProfile` plus trace id —
+    into the slow-query ring.  0 (default) disables capture, and the
+    serving path then builds no profile for un-explained requests."""
+
+    slow_query_capacity: int = 32
+    """Slow-query ring size; the oldest capture is evicted FIFO."""
+
+
+@dataclass(frozen=True)
 class MonitoringConfig:
     """Telemetry-plane tunables (DESIGN.md §6d)."""
 
@@ -199,6 +213,7 @@ class ManuConfig:
     query: QueryConfig = field(default_factory=QueryConfig)
     scaling: ScalingConfig = field(default_factory=ScalingConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
+    profiling: ProfilingConfig = field(default_factory=ProfilingConfig)
     monitoring: MonitoringConfig = field(default_factory=MonitoringConfig)
 
     def with_overrides(self, **sections) -> "ManuConfig":

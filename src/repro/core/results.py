@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -155,14 +155,41 @@ class HitBatch:
 
 
 @dataclass
+class ReduceStats:
+    """Work counters of one (or several accumulated) top-k merges.
+
+    ``hits_deduped`` counts duplicates over the *full* candidate set, not
+    just the first ``k`` — the definition both the vectorized and the
+    reference reduce agree on (see :func:`merge_topk_reference`).
+    """
+
+    batches_merged: int = 0
+    candidates_in: int = 0
+    hits_deduped: int = 0
+    hits_out: int = 0
+
+    def as_dict(self) -> dict:
+        return {"batches_merged": self.batches_merged,
+                "candidates_in": self.candidates_in,
+                "hits_deduped": self.hits_deduped,
+                "hits_out": self.hits_out}
+
+
+@dataclass
 class SearchResult:
-    """Top-k hits for one query plus execution metadata."""
+    """Top-k hits for one query plus execution metadata.
+
+    ``profile`` is the request's :class:`repro.profiling.QueryProfile`
+    when the search ran with ``explain=True`` (all results of one batched
+    request share the same profile object), else None.
+    """
 
     hits: list[SearchHit]
     metric: MetricType
     latency_ms: float = 0.0
     consistency_wait_ms: float = 0.0
     segments_searched: int = 0
+    profile: object = None
 
     @property
     def pks(self) -> list:
@@ -214,7 +241,8 @@ def _first_occurrence(pks: np.ndarray):
     return unique_first
 
 
-def merge_topk(partials: Sequence[Partial], k: int) -> HitBatch:
+def merge_topk(partials: Sequence[Partial], k: int,
+               stats: Optional[ReduceStats] = None) -> HitBatch:
     """Merge sorted partial results into a deduplicated global top-k.
 
     Each partial (a :class:`HitBatch`, or an iterable of sorted
@@ -230,41 +258,75 @@ def merge_topk(partials: Sequence[Partial], k: int) -> HitBatch:
     used on purpose: partition boundaries are unstable under distance
     ties, and the reduce must stay hit-for-hit identical to
     :func:`merge_topk_reference`.
+
+    With ``stats`` the merge additionally accumulates its work counters
+    (profiling plane); the default None keeps the hot path untouched.
     """
     if k <= 0:
+        if stats is not None:
+            stats.batches_merged += len(partials)
         return HitBatch.empty()
     batches = [p if isinstance(p, HitBatch) else HitBatch.from_hits(p)
                for p in partials]
     merged = HitBatch.concat(batches)
+    if stats is not None:
+        stats.batches_merged += len(batches)
+        stats.candidates_in += len(merged)
     if not merged:
         return merged
     keep = _first_occurrence(merged.pks)
     if keep is not None:
+        if stats is not None:
+            stats.hits_deduped += len(merged) - len(keep)
         merged = HitBatch(merged.pks[keep], merged.dists[keep])
-    return merged.topk(k)
+    out = merged.topk(k)
+    if stats is not None:
+        stats.hits_out += len(out)
+    return out
 
 
 def merge_topk_reference(partials: Sequence[Iterable[SearchHit]],
-                         k: int) -> list[SearchHit]:
+                         k: int,
+                         stats: Optional[ReduceStats] = None
+                         ) -> list[SearchHit]:
     """Object-based reduce, retained as the oracle for the vectorized path.
 
     This is the pre-HitBatch implementation (``heapq.merge`` over
     :class:`SearchHit` objects with a seen-set dedup).  The equivalence
     suite asserts :func:`merge_topk` matches it hit-for-hit, and
     ``benchmarks/bench_reduce_path.py`` measures the speedup against it.
+
+    With ``stats`` the merge is consumed past the ``k``-th unique hit so
+    ``hits_deduped`` counts duplicates over the full candidate set — the
+    vectorized path dedups before truncating, and the short-circuit would
+    otherwise undercount duplicates that sort after the cutoff.  The
+    returned hits are unchanged either way; without ``stats`` the merge
+    still stops at ``k`` (the fast oracle the benches time).
     """
     if k <= 0:
+        if stats is not None:
+            stats.batches_merged += len(list(partials))
         return []
+    partials = [list(p) for p in partials] if stats is not None \
+        else list(partials)
     merged = heapq.merge(*partials)
     out: list[SearchHit] = []
     seen: set = set()
+    dupes = 0
     for hit in merged:
         if hit.pk in seen:
+            dupes += 1
             continue
         seen.add(hit.pk)
-        out.append(hit)
-        if len(out) >= k:
-            break
+        if len(out) < k:
+            out.append(hit)
+            if len(out) >= k and stats is None:
+                break
+    if stats is not None:
+        stats.batches_merged += len(partials)
+        stats.candidates_in += sum(len(p) for p in partials)
+        stats.hits_deduped += dupes
+        stats.hits_out += len(out)
     return out
 
 

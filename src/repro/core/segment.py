@@ -337,6 +337,7 @@ class Segment:
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
+        stats.delete_filter_hits += self.num_deleted
         allowed = self._allowed_mask(filter_mask)
         n_allowed = int(allowed.sum())
         if n_allowed == 0 or self.num_rows == 0:
@@ -359,8 +360,15 @@ class Segment:
         rows = np.flatnonzero(allowed)
         if not len(rows) or k <= 0:
             return [HitBatch.empty() for _ in range(queries.shape[0])]
+        if field in self._consolidated:
+            stats.cache_hits += 1
+        else:
+            stats.cache_misses += 1
         data = self.column(field)[rows]
         dists = adjusted_distances(queries, data, metric)
+        stats.brute_scans += 1
+        stats.rows_scanned += queries.shape[0] * len(rows)
+        stats.bytes_materialized += int(data.nbytes)
         stats.float_comparisons += queries.shape[0] * len(rows)
         # One batched selection over all queries; pk gather is a single
         # fancy-index on the cached pk ndarray per query.
@@ -381,6 +389,12 @@ class Segment:
                           else min(covered, 2 * k + n_excluded // 4))
         ids, dists = index.search(queries, k_amplified)
         _merge_stats(stats, index.stats)
+        stats.index_scans += 1
+        # Indexes report work as comparison counts; at the scan layer one
+        # comparison examines one stored row, which is the rows-scanned
+        # unit the read-unit metering charges for.
+        stats.rows_scanned += (index.stats.float_comparisons
+                               + index.stats.quantized_comparisons)
         pk_arr = self.pk_array
         out: list[HitBatch] = []
         for qi in range(queries.shape[0]):
@@ -393,6 +407,8 @@ class Segment:
                 local = local[:padding[0]]
             rows = row_offset + local
             keep = allowed[rows]
+            stats.candidates_visited += len(local)
+            stats.candidates_pruned += len(local) - int(keep.sum())
             kept_rows = rows[keep][:k]
             if n_excluded > 0 and len(kept_rows) < k \
                     and k_amplified < covered:
@@ -468,13 +484,21 @@ class Segment:
         ascending.
         """
         stats = stats if stats is not None else SearchStats()
+        stats.delete_filter_hits += self.num_deleted
         allowed = self._allowed_mask(filter_mask)
         rows = np.flatnonzero(allowed)
         if not len(rows):
             return HitBatch.empty()
+        if field in self._consolidated:
+            stats.cache_hits += 1
+        else:
+            stats.cache_misses += 1
         query = np.asarray(query, dtype=np.float32).reshape(1, -1)
-        dists = adjusted_distances(query, self.column(field)[rows],
-                                   metric)[0]
+        data = self.column(field)[rows]
+        dists = adjusted_distances(query, data, metric)[0]
+        stats.brute_scans += 1
+        stats.rows_scanned += len(rows)
+        stats.bytes_materialized += int(data.nbytes)
         stats.float_comparisons += len(rows)
         hit = np.flatnonzero(dists <= threshold)
         order = hit[np.argsort(dists[hit], kind="stable")]
@@ -520,7 +544,4 @@ class Segment:
 
 
 def _merge_stats(into: SearchStats, other: SearchStats) -> None:
-    into.float_comparisons += other.float_comparisons
-    into.quantized_comparisons += other.quantized_comparisons
-    into.ssd_blocks_read += other.ssd_blocks_read
-    into.graph_hops += other.graph_hops
+    into.add(other)

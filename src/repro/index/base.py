@@ -29,28 +29,82 @@ from repro.core.schema import MetricType
 from repro.errors import IndexBuildError
 
 
+#: Every counter a :class:`SearchStats` carries, in declaration order.
+#: The profiling plane sums these per segment / node / proxy and asserts
+#: the sums agree exactly, so additions here must be incremented inside
+#: the per-segment scan window (``Segment.search`` and below).
+STAT_FIELDS = (
+    "float_comparisons",
+    "quantized_comparisons",
+    "ssd_blocks_read",
+    "graph_hops",
+    "rows_scanned",
+    "bytes_materialized",
+    "candidates_visited",
+    "candidates_pruned",
+    "index_scans",
+    "brute_scans",
+    "delete_filter_hits",
+    "cache_hits",
+    "cache_misses",
+)
+
+
 @dataclass
 class SearchStats:
-    """Work performed by the last search (for the cost model)."""
+    """Work performed by the last search (cost model + profiling plane).
+
+    The first four counters drive the cost model (virtual service time);
+    the rest are the work-accounting counters ``EXPLAIN ANALYZE`` and
+    per-tenant read-unit metering are built on:
+
+    * ``rows_scanned`` — (query, stored row) pairs whose vector was
+      examined: allowed rows x nq for exact scans, comparisons performed
+      inside the index for indexed scans;
+    * ``bytes_materialized`` — column bytes gathered from segment storage
+      to serve exact scans;
+    * ``candidates_visited`` / ``candidates_pruned`` — index candidates
+      examined by post-filtering, and how many the deletion/filter masks
+      dropped;
+    * ``index_scans`` / ``brute_scans`` — scan invocations by path;
+    * ``delete_filter_hits`` — rows excluded by the deletion bitmap;
+    * ``cache_hits`` / ``cache_misses`` — consolidated-column cache
+      outcomes on the exact-scan path.
+    """
 
     float_comparisons: int = 0
     quantized_comparisons: int = 0
     ssd_blocks_read: int = 0
     graph_hops: int = 0
+    rows_scanned: int = 0
+    bytes_materialized: int = 0
+    candidates_visited: int = 0
+    candidates_pruned: int = 0
+    index_scans: int = 0
+    brute_scans: int = 0
+    delete_filter_hits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def reset(self) -> None:
-        self.float_comparisons = 0
-        self.quantized_comparisons = 0
-        self.ssd_blocks_read = 0
-        self.graph_hops = 0
+        for name in STAT_FIELDS:
+            setattr(self, name, 0)
+
+    def add(self, other: "SearchStats") -> None:
+        """Accumulate ``other``'s counters into this object in place."""
+        for name in STAT_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def merged_with(self, other: "SearchStats") -> "SearchStats":
-        return SearchStats(
-            self.float_comparisons + other.float_comparisons,
-            self.quantized_comparisons + other.quantized_comparisons,
-            self.ssd_blocks_read + other.ssd_blocks_read,
-            self.graph_hops + other.graph_hops,
-        )
+        merged = SearchStats()
+        for name in STAT_FIELDS:
+            setattr(merged, name,
+                    getattr(self, name) + getattr(other, name))
+        return merged
+
+    def as_dict(self) -> dict:
+        """Counter name -> value snapshot (profiling delta windows)."""
+        return {name: getattr(self, name) for name in STAT_FIELDS}
 
 
 class VectorIndex(abc.ABC):

@@ -18,7 +18,8 @@ from repro.monitoring.alerts import (
     AlertRule,
     resolve_signal,
 )
-from repro.monitoring.exposition import parse_exposition, render_exposition
+from repro.monitoring.exposition import (parse_exemplars, parse_exposition,
+                                         render_exposition)
 from repro.monitoring.flight_recorder import FlightRecorder
 from repro.monitoring.health import HealthState, HealthTracker
 from repro.monitoring.metrics import (
@@ -43,6 +44,7 @@ __all__ = [
     "LatencyWindow",
     "MetricFamily",
     "MetricsRegistry",
+    "parse_exemplars",
     "parse_exposition",
     "render_exposition",
     "resolve_signal",

@@ -85,8 +85,46 @@ def system_view(cluster: ManuCluster) -> str:
     for name in cluster.logger_service.logger_names:
         lines.append(f"  {name:12s} {_health_label(cluster, f'logger:{name}')}")
     lines.append(tenants_view(cluster))
+    lines.append(top_cost_view(cluster))
+    lines.append(slow_queries_view(cluster))
     lines.append(backbone_view(cluster))
     lines.append("=" * 64)
+    return "\n".join(lines)
+
+
+def slow_queries_view(cluster: ManuCluster, n: int = 5) -> str:
+    """Top-N slowest captured queries with work and trace linkage."""
+    lines = ["SLOW QUERIES"]
+    slowlog = cluster.slowlog
+    if not slowlog.enabled:
+        lines.append("  (capture disabled; set profiling."
+                     "slow_query_threshold_ms)")
+        return "\n".join(lines)
+    entries = slowlog.top(n)
+    if not entries:
+        lines.append(f"  (none above {slowlog.threshold_ms:g} ms)")
+        return "\n".join(lines)
+    for entry in entries:
+        trace = entry.trace_id if entry.trace_id is not None else "-"
+        lines.append(
+            f"  {entry.latency_ms:9.2f} ms {entry.collection:20s} "
+            f"rows {entry.rows_scanned:9d} trace {trace}")
+    return "\n".join(lines)
+
+
+def top_cost_view(cluster: ManuCluster, n: int = 5) -> str:
+    """Costliest tenants by cumulative read + write units."""
+    lines = ["TOP COST"]
+    ranked = cluster.cost_meter.top_by_cost(n)
+    if not ranked:
+        lines.append("  (no metered usage)")
+        return "\n".join(lines)
+    for tenant, usage in ranked:
+        lines.append(
+            f"  {tenant:12s} total {usage.total_units:10.2f} "
+            f"(read {usage.read_units:9.2f} / "
+            f"write {usage.write_units:9.2f}) "
+            f"rows scanned {usage.rows_scanned:9d}")
     return "\n".join(lines)
 
 
@@ -131,12 +169,14 @@ def tenants_view(cluster: ManuCluster) -> str:
         shards = sum(
             cluster.directory.num_shards(physical_name(name, logical))
             for logical in info.collections)
+        usage = cluster.cost_meter.usage(name)
         lines.append(
             f"  {name:12s} {info.qos.value:6s} "
             f"collections {len(info.collections):3d} "
             f"shards {shards:3d} "
             f"requests {req_by_tenant.get(name, 0.0):8.0f} "
-            f"rejected {rej_by_tenant.get(name, 0.0):6.0f}")
+            f"rejected {rej_by_tenant.get(name, 0.0):6.0f} "
+            f"RU {usage.read_units:8.2f} WU {usage.write_units:8.0f}")
     return "\n".join(lines)
 
 

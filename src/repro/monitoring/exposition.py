@@ -11,6 +11,12 @@ without a real Prometheus.
 Names arrive dotted (``proxy.p0.searches``) from the legacy shim; the
 renderer sanitizes them to the exposition charset (``proxy_p0_searches``)
 the same way prometheus client libraries do.
+
+Histogram bucket lines may carry an OpenMetrics-style **exemplar**
+suffix — ``name_bucket{le="5.0"} 3.0 # {trace_id="t000042"} 4.2`` — the
+most recent sampled request that landed in the bucket.  The parser
+validates and strips them (series values stay the return contract);
+:func:`parse_exemplars` recovers the linkage for the round-trip tests.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ _SERIES_LINE = re.compile(
     r"\s+(?P<value>[^\s]+)\s*$")
 _LABEL_PAIR = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)='
                          r'"(?P<value>(?:[^"\\]|\\.)*)"')
+_EXEMPLAR = re.compile(
+    r'^\{(?P<labels>[^{}]*)\}\s+(?P<value>[^\s]+)$')
 
 #: Percentile gauges emitted alongside each histogram family / window.
 _PERCENTILES = (50, 95, 99)
@@ -95,11 +103,20 @@ def _render_histogram_family(lines: list, metric_name: str,
                              family) -> None:
     _header(lines, metric_name, "histogram", family.help)
     for labels, child in family.samples():
-        for bound, cumulative in child.cumulative_buckets():
+        exemplars = child.exemplars or {}
+        for i, (bound, cumulative) in enumerate(
+                child.cumulative_buckets()):
             bucket_labels = dict(labels)
             bucket_labels["le"] = _format_value(bound)
-            lines.append(f"{metric_name}_bucket{_labels_text(bucket_labels)}"
-                         f" {_format_value(float(cumulative))}")
+            line = (f"{metric_name}_bucket{_labels_text(bucket_labels)}"
+                    f" {_format_value(float(cumulative))}")
+            exemplar = exemplars.get(i)
+            if exemplar is not None:
+                trace_id, value = exemplar
+                line += (f' # {{trace_id="'
+                         f'{_escape_label_value(trace_id)}"}} '
+                         f"{_format_value(value)}")
+            lines.append(line)
         lines.append(f"{metric_name}_sum{_labels_text(labels)} "
                      f"{_format_value(child.sum)}")
         lines.append(f"{metric_name}_count{_labels_text(labels)} "
@@ -140,12 +157,55 @@ def _render_window(lines: list, metric_name: str, window,
             lines.append(f"{metric_name}_p{pct} {_format_value(value)}")
 
 
+def _parse_labels(lineno: int, raw: str, labels_text) -> tuple:
+    labels = []
+    if labels_text:
+        consumed = 0
+        for pair in _LABEL_PAIR.finditer(labels_text):
+            labels.append((pair.group("key"),
+                           _unescape_label_value(pair.group("value"))))
+            consumed = pair.end()
+        leftover = labels_text[consumed:].strip().strip(",")
+        if leftover:
+            raise ValueError(
+                f"line {lineno}: malformed labels {labels_text!r} "
+                f"in {raw!r}")
+    return tuple(sorted(labels))
+
+
+def _parse_value(value_text: str) -> float:
+    if value_text == "+Inf":
+        return float("inf")
+    if value_text == "-Inf":
+        return float("-inf")
+    return float(value_text)
+
+
+def _split_exemplar(line: str) -> tuple:
+    """Split a series line into (series part, exemplar part or None)."""
+    idx = line.find(" # {")
+    if idx == -1:
+        return line, None
+    return line[:idx].rstrip(), line[idx + 3:].strip()
+
+
+def _parse_exemplar(lineno: int, raw: str, exemplar_text: str) -> tuple:
+    """Validated ((label, value) pairs, observed value) of an exemplar."""
+    match = _EXEMPLAR.match(exemplar_text)
+    if match is None:
+        raise ValueError(f"line {lineno}: malformed exemplar {raw!r}")
+    return (_parse_labels(lineno, raw, match.group("labels")),
+            _parse_value(match.group("value")))
+
+
 def parse_exposition(text: str) -> dict:
     """Parse exposition text into ``(name, ((label, value), ...)) -> float``.
 
     Inverse of :func:`render_exposition` for the series lines (``# TYPE``
     / ``# HELP`` comments are validated for shape and skipped).  Raises
     ``ValueError`` on a malformed line, so tests catch renderer drift.
+    Exemplar suffixes are validated then stripped; use
+    :func:`parse_exemplars` to recover them.
     """
     series: dict = {}
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -156,27 +216,38 @@ def parse_exposition(text: str) -> dict:
             if not re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*", line):
                 raise ValueError(f"line {lineno}: malformed comment {raw!r}")
             continue
+        line, exemplar_text = _split_exemplar(line)
+        if exemplar_text is not None:
+            _parse_exemplar(lineno, raw, exemplar_text)
         match = _SERIES_LINE.match(line)
         if match is None:
             raise ValueError(f"line {lineno}: malformed series {raw!r}")
-        labels_text = match.group("labels")
-        labels = []
-        if labels_text:
-            consumed = 0
-            for pair in _LABEL_PAIR.finditer(labels_text):
-                labels.append((pair.group("key"),
-                               _unescape_label_value(pair.group("value"))))
-                consumed = pair.end()
-            leftover = labels_text[consumed:].strip().strip(",")
-            if leftover:
-                raise ValueError(
-                    f"line {lineno}: malformed labels {labels_text!r}")
-        value_text = match.group("value")
-        if value_text == "+Inf":
-            value = float("inf")
-        elif value_text == "-Inf":
-            value = float("-inf")
-        else:
-            value = float(value_text)
-        series[(match.group("name"), tuple(sorted(labels)))] = value
+        labels = _parse_labels(lineno, raw, match.group("labels"))
+        series[(match.group("name"), labels)] = \
+            _parse_value(match.group("value"))
     return series
+
+
+def parse_exemplars(text: str) -> dict:
+    """Exemplar linkage of exposition text.
+
+    Returns ``(name, ((label, value), ...)) -> (exemplar labels, value)``
+    for every series line carrying an exemplar suffix — the inverse of
+    the renderer's ``# {trace_id="..."} value`` attachment, keyed like
+    :func:`parse_exposition` so the two maps join on series identity.
+    """
+    exemplars: dict = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        line, exemplar_text = _split_exemplar(line)
+        if exemplar_text is None:
+            continue
+        parsed = _parse_exemplar(lineno, raw, exemplar_text)
+        match = _SERIES_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed series {raw!r}")
+        labels = _parse_labels(lineno, raw, match.group("labels"))
+        exemplars[(match.group("name"), labels)] = parsed
+    return exemplars

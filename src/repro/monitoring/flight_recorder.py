@@ -34,13 +34,18 @@ class FlightRecorder:
 
     def __init__(self, clock_ms: Callable[[], float], registry,
                  health=None, tracer=None,
-                 capacity: int = 8, max_traces: int = 5) -> None:
+                 capacity: int = 8, max_traces: int = 5,
+                 slowlog=None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self._clock_ms = clock_ms
         self._registry = registry
         self._health = health
         self._tracer = tracer
+        # Duck-typed repro.profiling.SlowQueryLog (monitoring stays
+        # import-free of the profiling layer): captured offenders ride
+        # along in each bundle.
+        self._slowlog = slowlog
         self.max_traces = max_traces
         self.bundles: Deque[dict] = deque(maxlen=capacity)
 
@@ -65,6 +70,8 @@ class FlightRecorder:
                     _span_dict(span)
                     for span in self._tracer.spans(trace_id)]
             bundle["traces"] = traces
+        if self._slowlog is not None and len(self._slowlog):
+            bundle["slow_queries"] = self._slowlog.snapshot()
         if extra:
             bundle["extra"] = dict(extra)
         self.bundles.append(bundle)

@@ -62,10 +62,16 @@ class Histogram:
     bounds nobody ever hit.  Two histograms over the same bounds
     :meth:`merge` by adding bucket counts — the cross-component
     aggregation the exposition and alerting paths use.
+
+    ``observe(value, exemplar=trace_id)`` additionally retains the most
+    recent (trace id, value) pair per bucket — the OpenMetrics exemplar
+    linkage the exposition renders, turning "the p99 bucket grew" into
+    "and here is a sampled trace that landed in it".  Exemplar storage is
+    lazy: a histogram that never sees one stays a plain counter array.
     """
 
     __slots__ = ("bounds", "bucket_counts", "count", "sum",
-                 "_min", "_max")
+                 "_min", "_max", "exemplars")
 
     def __init__(self, buckets: tuple = DEFAULT_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -79,16 +85,23 @@ class Histogram:
         self.sum = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        #: bucket index -> (trace id, value) of its latest exemplar.
+        self.exemplars: Optional[dict[int, tuple[str, float]]] = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         value = float(value)
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        idx = bisect_left(self.bounds, value)
+        self.bucket_counts[idx] += 1
         self.count += 1
         self.sum += value
         if self._min is None or value < self._min:
             self._min = value
         if self._max is None or value > self._max:
             self._max = value
+        if exemplar is not None:
+            if self.exemplars is None:
+                self.exemplars = {}
+            self.exemplars[idx] = (str(exemplar), value)
 
     @property
     def mean(self) -> Optional[float]:
@@ -137,6 +150,9 @@ class Histogram:
         maxs = [m for m in (self._max, other._max) if m is not None]
         merged._min = min(mins) if mins else None
         merged._max = max(maxs) if maxs else None
+        if self.exemplars or other.exemplars:
+            merged.exemplars = dict(self.exemplars or {})
+            merged.exemplars.update(other.exemplars or {})
         return merged
 
     @staticmethod

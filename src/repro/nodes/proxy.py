@@ -27,13 +27,17 @@ from repro.core.consistency import ConsistencyLevel, guarantee_ts
 from repro.core.entity import validate_batch
 from repro.core.expr import Const, Compare, Field, FilterExpression, InList
 from repro.core.multivector import MultiVectorQuery
-from repro.core.results import HitBatch, SearchResult, merge_topk
+from repro.core.results import HitBatch, ReduceStats, SearchResult, \
+    merge_topk
 from repro.core.schema import MetricType
 from repro.core.tso import TimestampOracle
 from repro.errors import CollectionNotFound, ConsistencyTimeout, \
     ManuError, QuotaExceeded
+from repro.index.base import SearchStats
 from repro.log.logger_node import AckFuture, LoggerService
 from repro.monitoring.metrics import MetricsRegistry
+from repro.profiling import QueryProfile
+from repro.tenancy import CostMeter
 from repro.sim.costmodel import CostModel
 from repro.sim.events import EventLoop
 from repro.tracing import (
@@ -65,7 +69,9 @@ class Proxy:
                  logger_service: LoggerService, root_coord, query_coord,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[TraceCollector] = None,
-                 tenants=None, admission=None) -> None:
+                 tenants=None, admission=None,
+                 cost_meter: Optional[CostMeter] = None,
+                 slowlog=None) -> None:
         self.name = name
         self._loop = loop
         self._tso = tso
@@ -116,6 +122,21 @@ class Proxy:
         self._tenant_rejections = self.metrics.counter_family(
             "tenant_quota_rejections_total", ("tenant", "verb"),
             help="tenant requests rejected by quota buckets")
+        # Cost accounting (DESIGN.md §6g): measured read/write units per
+        # tenant, mirrored into labeled counter families for exposition.
+        # The meter is usually the cluster-wide one so every proxy charges
+        # the same ledger; a private meter keeps standalone proxies working.
+        self._cost_meter = cost_meter if cost_meter is not None \
+            else CostMeter()
+        self._slowlog = slowlog
+        self._read_units = self.metrics.counter_family(
+            "tenant_read_units_total", ("tenant",),
+            help="cumulative read units (rows scanned + bytes "
+                 "materialized) charged per tenant")
+        self._write_units = self.metrics.counter_family(
+            "tenant_write_units_total", ("tenant",),
+            help="cumulative write units (rows appended) charged "
+                 "per tenant")
         #: physical collection -> queries served; the rebalancer's
         #: search-load attribution reads this (plain dict: the hot path
         #: stays family-lookup-free).
@@ -160,6 +181,21 @@ class Proxy:
             tenant=tenant, qos=info.qos.value, verb=verb).inc()
 
     # ------------------------------------------------------------------
+    # cost accounting
+    # ------------------------------------------------------------------
+
+    def _charge_read(self, tenant: str, stats: SearchStats) -> None:
+        """Meter one search's measured scan work against the tenant."""
+        units = self._cost_meter.charge_read(
+            tenant, stats.rows_scanned, stats.bytes_materialized)
+        self._read_units.labels(tenant=tenant).inc(units)
+
+    def _charge_write(self, tenant: str, rows: int) -> None:
+        """Meter one write's appended rows against the tenant."""
+        units = self._cost_meter.charge_write(tenant, rows)
+        self._write_units.labels(tenant=tenant).inc(units)
+
+    # ------------------------------------------------------------------
     # metadata verification
     # ------------------------------------------------------------------
 
@@ -192,6 +228,8 @@ class Proxy:
             lsn = self._loggers.insert(collection, batch)
         self._session_ts = max(self._session_ts, lsn)
         self._inserts_counter.inc(batch.num_rows)
+        if tenant is not None:
+            self._charge_write(tenant, batch.num_rows)
         return batch.pks
 
     def insert_async(self, collection: str, data: Mapping,
@@ -221,6 +259,8 @@ class Proxy:
         def _on_ack(future: "AckFuture") -> None:
             self._session_ts = max(self._session_ts, future.result())
             self._inserts_counter.inc(batch.num_rows)
+            if tenant is not None:
+                self._charge_write(tenant, batch.num_rows)
 
         ack.add_done_callback(_on_ack)
         return batch.pks, ack
@@ -279,8 +319,17 @@ class Proxy:
                consistency: ConsistencyLevel = ConsistencyLevel.BOUNDED,
                staleness_ms: float = 100.0,
                at_ms: Optional[float] = None,
-               tenant: Optional[str] = None) -> list[SearchResult]:
-        """Global top-k search; one :class:`SearchResult` per query row."""
+               tenant: Optional[str] = None,
+               explain: bool = False) -> list[SearchResult]:
+        """Global top-k search; one :class:`SearchResult` per query row.
+
+        With ``explain=True`` every returned result carries the request's
+        :class:`~repro.profiling.QueryProfile` — the EXPLAIN ANALYZE work
+        ledger — in ``result.profile``.  A profile is also built (but not
+        returned) when the slow-query log is armed, so offenders are
+        captured with full per-stage counters; with neither, the hot path
+        allocates no profile objects at all.
+        """
         if tenant is not None:
             collection = self._tenant_resolve(tenant, collection)
         schema = self._schema(collection)
@@ -294,6 +343,13 @@ class Proxy:
             self._tenant_admit(tenant, "search",
                                units=float(queries.shape[0]))
         filter_expr = FilterExpression(expr) if expr else None
+        # Request-wide scan work, accumulated across the node fan-out for
+        # cost metering (always cheap: one SearchStats, no tree).
+        req_stats = SearchStats()
+        want_profile = explain or (self._slowlog is not None
+                                   and self._slowlog.enabled)
+        prof = QueryProfile(collection, nq=int(queries.shape[0]),
+                            k=k) if want_profile else None
 
         if at_ms is not None:
             self._loop.run_until(at_ms)
@@ -332,10 +388,15 @@ class Proxy:
                     nspan = self._tracer.start_span(
                         "query_node.scan", f"query-node:{node.name}",
                         parent=root.context, start_ms=ready_ms)
+                    node_stage = prof.node_stage(node.name) \
+                        if prof is not None else None
                     hits, service_ms, searched = node.search(
                         collection, field, queries, k, metric, filter_expr,
-                        scope=scope, trace_span=nspan)
+                        scope=scope, trace_span=nspan,
+                        profile=node_stage, acc_stats=req_stats)
                     node.busy_until_ms = start + service_ms
+                    if node_stage is not None:
+                        node_stage.meta["queue_ms"] = start - ready_ms
                     nspan.tags.update(queue_ms=start - ready_ms,
                                       service_ms=service_ms,
                                       segments=searched)
@@ -356,18 +417,37 @@ class Proxy:
                     nodes=len(nodes))
                 self._tracer.finish_span(root, end_ms=done_ms)
 
+                trace_id = root.trace_id if root.sampled else None
+                if prof is not None:
+                    proxy_reduce = ReduceStats()
+                else:
+                    proxy_reduce = None
                 results = []
                 for parts in per_query_partials:
                     # Partials stay array-native through the global merge;
                     # hits only become SearchHit objects at the
                     # SearchResult boundary.
-                    hits = merge_topk(parts, k)
+                    hits = merge_topk(parts, k, stats=proxy_reduce)
                     results.append(SearchResult(
                         hits=hits.to_hits(), metric=metric,
                         latency_ms=latency, consistency_wait_ms=wait_ms,
-                        segments_searched=segments_total))
+                        segments_searched=segments_total,
+                        profile=prof if explain else None))
+                if prof is not None:
+                    prof.finalize(latency_ms=latency, wait_ms=wait_ms,
+                                  merge_ms=merge_ms, nodes=len(nodes),
+                                  segments=segments_total,
+                                  merge_counters=proxy_reduce.as_dict(),
+                                  trace_id=trace_id)
+                    if self._slowlog is not None:
+                        self._slowlog.observe(self._loop.now(), prof)
+                if tenant is not None:
+                    self._charge_read(tenant, req_stats)
                 self._search_latency.record(self._loop.now(), latency)
-                self._search_hist.observe(latency)
+                # The latency observation carries the trace id as an
+                # exemplar: a histogram bucket is one hop from a concrete
+                # sampled request that landed in it.
+                self._search_hist.observe(latency, exemplar=trace_id)
                 self._wait_hist.observe(wait_ms)
                 self._merge_hist.observe(merge_ms)
                 self._searches_counter.inc(queries.shape[0])
@@ -481,6 +561,8 @@ class Proxy:
             self._session_ts = max(self._session_ts, lsn)
             lsn = self._loggers.insert(collection, batch)
             self._session_ts = max(self._session_ts, lsn)
+        if tenant is not None:
+            self._charge_write(tenant, batch.num_rows)
         return batch.pks
 
     def range_search(self, collection: str, query: np.ndarray,

@@ -31,7 +31,7 @@ from repro.core.consistency import ConsistencyGate
 from repro.core.expr import FilterExpression
 from repro.core.filtering import FilterStrategy, filtered_search
 from repro.core.multivector import MultiVectorQuery, search_segment
-from repro.core.results import HitBatch, merge_topk
+from repro.core.results import HitBatch, ReduceStats, merge_topk
 from repro.core.schema import CollectionSchema, MetricType
 from repro.core.segment import Segment
 from repro.errors import ClusterStateError
@@ -374,6 +374,7 @@ class QueryNode:
                forced_strategy: Optional[FilterStrategy] = None,
                scope: Optional[set[str]] = None,
                trace_span: Optional[Span] = None,
+               profile=None, acc_stats: Optional[SearchStats] = None,
                ) -> tuple[list[HitBatch], float, int]:
         """Node-local two-phase reduce.
 
@@ -387,12 +388,22 @@ class QueryNode:
         each segment scan is recorded as a child with its own cost-model
         window, laid end to end from the span's start (segments scan
         sequentially within one node).
+
+        ``profile`` is this node's ``query_node.scan`` stage of a
+        :class:`~repro.profiling.QueryProfile` (duck-typed; None on the
+        untraced hot path).  Each segment scan becomes a ``segment.scan``
+        child stage carrying the counter *delta* it contributed, and the
+        node-local merge becomes a ``query_node.reduce`` child — the sum
+        of segment counters equals the stage counters by construction.
+        ``acc_stats`` accumulates this request's full
+        :class:`SearchStats` for proxy-side cost metering.
         """
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
         nq = queries.shape[0]
         traced = trace_span is not None and trace_span.sampled
+        profiling = profile is not None
         dim = self._probe_dim()
         cursor_ms = trace_span.start_ms if traced else 0.0
         stats = SearchStats()
@@ -403,10 +414,24 @@ class QueryNode:
             f0, q0, b0 = (stats.float_comparisons,
                           stats.quantized_comparisons,
                           stats.ssd_blocks_read)
+            before = stats.as_dict() if profiling else None
             results, _plan = filtered_search(segment, field, queries, k,
                                              metric, expr, stats=stats,
                                              forced=forced_strategy)
             searched += 1
+            if profiling:
+                delta = {key: value - before[key]
+                         for key, value in stats.as_dict().items()}
+                growing = (collection,
+                           segment.segment_id) in self._growing_ids
+                path = ("growing" if growing
+                        else "index" if delta["index_scans"] > 0
+                        else "brute")
+                stage = profile.child("segment.scan",
+                                      segment=segment.segment_id,
+                                      path=path,
+                                      rows=segment.num_rows)
+                stage.counters = delta
             if traced:
                 seg_ms = (self._cost.distance_cost(
                               stats.float_comparisons - f0, dim)
@@ -423,8 +448,18 @@ class QueryNode:
             for qi, batch in enumerate(results):
                 if batch:
                     per_query_partials[qi].append(batch)
-        merged = [merge_topk(parts, k) for parts in per_query_partials]
+        reduce_stats = ReduceStats() if profiling else None
+        merged = [merge_topk(parts, k, stats=reduce_stats)
+                  for parts in per_query_partials]
         service_ms = self.service_time_ms(stats, nq)
+        if profiling:
+            profile.counters = stats.as_dict()
+            profile.meta.update(service_ms=service_ms, segments=searched,
+                                nq=nq)
+            reduce_stage = profile.child("query_node.reduce")
+            reduce_stage.counters = reduce_stats.as_dict()
+        if acc_stats is not None:
+            acc_stats.add(stats)
         if traced:
             reduce_ms = (self._cost.request_overhead_ms
                          + nq * self._cost.batch_row_overhead_ms)

@@ -15,6 +15,9 @@ naming convention.  This package supplies the four pieces:
 - :mod:`~repro.tenancy.qos` — virtual-time token buckets enforcing
   per-tenant insert/search rates, and the gold/silver/bronze admission
   ordering that maps to scheduling priority.
+- :mod:`~repro.tenancy.metering` — what each tenant *costs*: cumulative
+  read/write-unit accounting from measured scan work and appended rows,
+  charged by the proxy and ranked in the dashboard's TOP COST panel.
 - :mod:`~repro.tenancy.rebalancer` — detects hot shards from the
   backbone's per-channel telemetry, plans split/migrate moves, and
   executes them under epoch fencing so no write is lost or duplicated
@@ -28,6 +31,7 @@ must run above.
 """
 
 from repro.tenancy.directory import TenantDirectory
+from repro.tenancy.metering import CostMeter, TenantUsage
 from repro.tenancy.qos import AdmissionController, TokenBucket
 from repro.tenancy.rebalancer import Move, ShardRebalancer
 from repro.tenancy.registry import (
@@ -41,6 +45,7 @@ from repro.tenancy.registry import (
 
 __all__ = [
     "AdmissionController",
+    "CostMeter",
     "Move",
     "QosClass",
     "ShardRebalancer",
@@ -48,6 +53,7 @@ __all__ = [
     "TenantInfo",
     "TenantQuota",
     "TenantRegistry",
+    "TenantUsage",
     "TokenBucket",
     "physical_name",
     "split_physical",

@@ -6,6 +6,7 @@ from hypothesis import given, strategies as st
 
 from repro.core.results import (
     HitBatch,
+    ReduceStats,
     SearchHit,
     SearchResult,
     hits_from_arrays,
@@ -213,6 +214,86 @@ class TestVectorizedEquivalence:
         as_batch = HitBatch(["b", "a"], [2.0, 2.5])
         expected = _reference([as_list, list(as_batch)], 3)
         assert _vectorized([as_list, as_batch], 3) == expected
+
+
+class TestReduceStatsEquivalence:
+    """Profile counters must agree between the vectorized reduce and the
+    object oracle — the dedup count in particular, where the oracle's
+    short-circuit at k would undercount duplicates that sort after the
+    cutoff."""
+
+    # Cases chosen to stress the disagreement surface: duplicates that
+    # sort *after* the k-th unique hit, ties, empties, k extremes.
+    CASES = {
+        "dups_after_cutoff": (
+            [[(1.0, "a"), (2.0, "b"), (9.0, "a"), (9.5, "b")],
+             [(1.5, "c"), (8.0, "c"), (10.0, "a")]], 2),
+        "dups_before_cutoff": (
+            [[(1.0, "x"), (1.1, "x")], [(1.05, "x"), (2.0, "y")]], 5),
+        "all_duplicates_one_pk": (
+            [[(1.0, "p"), (2.0, "p")], [(3.0, "p"), (4.0, "p")]], 1),
+        "ties_across_partials": (
+            [[(1.0, "a"), (1.0, "b")], [(1.0, "c"), (1.0, "a")]], 3),
+        "empty_partials_mixed_in": ([[], [(1.0, 5)], []], 4),
+        "all_empty": ([[], [], []], 3),
+        "k_exceeds_total": ([[(1.0, 1), (2.0, 2)], [(1.5, 1)]], 50),
+        "k_zero": ([[(1.0, "a"), (2.0, "b")]], 0),
+    }
+
+    @staticmethod
+    def _run_both(raw, k):
+        hit_lists = [[SearchHit(d, pk) for d, pk in lst] for lst in raw]
+        batches = [HitBatch.from_hits(lst) for lst in hit_lists]
+        vec_stats, ref_stats = ReduceStats(), ReduceStats()
+        vec = [(h.pk, h.adjusted_distance)
+               for h in merge_topk(batches, k, stats=vec_stats).to_hits()]
+        ref = [(h.pk, h.adjusted_distance)
+               for h in merge_topk_reference(hit_lists, k,
+                                             stats=ref_stats)]
+        return vec, ref, vec_stats, ref_stats
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_counters_and_hits_agree(self, name):
+        raw, k = self.CASES[name]
+        vec, ref, vec_stats, ref_stats = self._run_both(raw, k)
+        assert vec == ref
+        assert vec_stats.as_dict() == ref_stats.as_dict()
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_stats_do_not_change_hits(self, name):
+        """Passing stats must not perturb either path's output."""
+        raw, k = self.CASES[name]
+        hit_lists = [[SearchHit(d, pk) for d, pk in lst] for lst in raw]
+        batches = [HitBatch.from_hits(lst) for lst in hit_lists]
+        with_stats = [(h.pk, h.adjusted_distance) for h in
+                      merge_topk(batches, k, stats=ReduceStats()).to_hits()]
+        assert with_stats == _vectorized(batches, k)
+        ref_with = [(h.pk, h.adjusted_distance) for h in
+                    merge_topk_reference(hit_lists, k, stats=ReduceStats())]
+        assert ref_with == _reference(hit_lists, k)
+
+    @given(st.lists(
+        st.lists(st.tuples(st.floats(0, 100), st.integers(0, 8)),
+                 max_size=20),
+        min_size=0, max_size=5),
+        st.integers(0, 12))
+    def test_property_counter_agreement(self, raw_lists, k):
+        raw = [[(d, pk) for d, pk in lst] for lst in raw_lists]
+        raw = [sorted(lst) for lst in raw]
+        vec, ref, vec_stats, ref_stats = self._run_both(raw, k)
+        assert vec == ref
+        assert vec_stats.as_dict() == ref_stats.as_dict()
+
+    def test_counter_semantics_on_known_input(self):
+        # Two batches of 2, pk "a" duplicated (its dup sorts last —
+        # after the k=2 cutoff), 4 candidates in, 3 unique, 2 kept.
+        raw = [[(1.0, "a"), (2.0, "b")], [(1.5, "c"), (9.0, "a")]]
+        vec, ref, vec_stats, ref_stats = self._run_both(raw, 2)
+        for stats in (vec_stats, ref_stats):
+            assert stats.batches_merged == 2
+            assert stats.candidates_in == 4
+            assert stats.hits_deduped == 1
+            assert stats.hits_out == 2
 
 
 class TestHelpers:
